@@ -1,0 +1,197 @@
+package fuse_test
+
+// One benchmark per table/figure of the paper's evaluation (§7), plus the
+// ablation bench for the §5.1 topology alternatives and micro-benchmarks
+// of the core operations. Each figure bench runs the corresponding
+// experiment driver at reduced scale per iteration and reports the
+// headline numbers as custom metrics, so `go test -bench=.` regenerates
+// the whole evaluation. Full-scale runs: `go run ./cmd/fusebench -exp all`.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fuse"
+	"fuse/internal/experiments"
+)
+
+// runExperiment executes the named driver once per iteration and reports
+// the selected metrics.
+func runExperiment(b *testing.B, name string, metrics map[string]string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(name, experiments.Params{Seed: int64(i + 1), Short: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for key, unit := range metrics {
+		if v, ok := last.Metrics[key]; ok {
+			b.ReportMetric(v, unit)
+		} else {
+			b.Fatalf("metric %q missing from %s (have %v)", key, name, last.Metrics)
+		}
+	}
+}
+
+// BenchmarkFig6RPCLatency regenerates Figure 6: the RPC latency CDF used
+// to calibrate the simulated network (paper: ~130 ms median, heavy tail).
+func BenchmarkFig6RPCLatency(b *testing.B) {
+	runExperiment(b, "fig6", map[string]string{
+		"median_ms": "median-ms",
+		"p90_ms":    "p90-ms",
+	})
+}
+
+// BenchmarkFig7GroupCreation regenerates Figure 7: blocking group
+// creation latency versus group size.
+func BenchmarkFig7GroupCreation(b *testing.B) {
+	runExperiment(b, "fig7", map[string]string{
+		"size2_median_ms":  "size2-ms",
+		"size32_median_ms": "size32-ms",
+	})
+}
+
+// BenchmarkFig8SignaledNotification regenerates Figure 8: explicit
+// notification latency versus group size (paper max: 1165 ms).
+func BenchmarkFig8SignaledNotification(b *testing.B) {
+	runExperiment(b, "fig8", map[string]string{
+		"size2_median_ms":  "size2-ms",
+		"size32_median_ms": "size32-ms",
+		"max_ms":           "max-ms",
+	})
+}
+
+// BenchmarkFig9CrashNotification regenerates Figure 9: the distribution
+// of notification times after disconnecting nodes (paper: 0-4 minutes,
+// ping and repair timeouts dominate).
+func BenchmarkFig9CrashNotification(b *testing.B) {
+	runExperiment(b, "fig9", map[string]string{
+		"median_min": "median-min",
+		"max_min":    "max-min",
+	})
+}
+
+// BenchmarkFig10Churn regenerates Figure 10: message load under overlay
+// churn, with and without FUSE groups (paper: 238 / 270 / 523 msg/s).
+func BenchmarkFig10Churn(b *testing.B) {
+	runExperiment(b, "fig10", map[string]string{
+		"no_churn":          "nochurn-msg/s",
+		"churn":             "churn-msg/s",
+		"churn_fuse":        "churnfuse-msg/s",
+		"fuse_overhead_pct": "fuse-overhead-%",
+	})
+}
+
+// BenchmarkFig11RouteLoss regenerates Figure 11: per-route loss CDF
+// medians for the three per-link loss rates (paper: 5.8/11.4/21.5%).
+func BenchmarkFig11RouteLoss(b *testing.B) {
+	runExperiment(b, "fig11", map[string]string{
+		"link0.4pct_median_route_loss": "loss0.4-median-%",
+		"link0.8pct_median_route_loss": "loss0.8-median-%",
+		"link1.6pct_median_route_loss": "loss1.6-median-%",
+	})
+}
+
+// BenchmarkFig12FalsePositives regenerates Figure 12: groups failed under
+// packet loss by size (paper: none below 21.5% median route loss, then
+// growing with group size).
+func BenchmarkFig12FalsePositives(b *testing.B) {
+	runExperiment(b, "fig12", map[string]string{
+		"loss0.4_size32_failed_pct": "loss0.4-size32-%",
+		"loss1.6_size32_failed_pct": "loss1.6-size32-%",
+	})
+}
+
+// BenchmarkSteadyStateLoad regenerates the §7.5 steady-state comparison
+// (paper: 337 vs 338 msg/s with 400 idle groups).
+func BenchmarkSteadyStateLoad(b *testing.B) {
+	runExperiment(b, "steady", map[string]string{
+		"without_groups": "bare-msg/s",
+		"with_groups":    "groups-msg/s",
+		"delta_pct":      "delta-%",
+	})
+}
+
+// BenchmarkSVTreeGroupSizes regenerates the §4 statistics: FUSE group
+// sizes while building a subscriber tree (paper: mean 2.9, max 13).
+func BenchmarkSVTreeGroupSizes(b *testing.B) {
+	runExperiment(b, "svtree", map[string]string{
+		"mean_size": "mean-members",
+		"max_size":  "max-members",
+	})
+}
+
+// BenchmarkAblationTopologies compares the §5.1 liveness topologies'
+// idle load and crash-notification latency against the overlay-sharing
+// implementation.
+func BenchmarkAblationTopologies(b *testing.B) {
+	runExperiment(b, "ablation", map[string]string{
+		"overlay_load":             "overlay-msg/s",
+		"direct-tree_load":         "star-msg/s",
+		"all-to-all_load":          "alltoall-msg/s",
+		"overlay_latency_s":        "overlay-notify-s",
+		"central-server_latency_s": "central-notify-s",
+	})
+}
+
+// --- micro-benchmarks of the core operations (simulated time advances,
+// wall-clock measures the implementation's own cost) ---
+
+// BenchmarkGroupCreateSignalCycle measures the full create/notify cycle
+// the SV-tree application performs for every content link.
+func BenchmarkGroupCreateSignalCycle(b *testing.B) {
+	s := fuse.NewSim(64, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.CreateGroup(i%64, (i+7)%64, (i+13)%64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SignalFailure(i%64, id)
+		s.RunFor(30 * time.Second)
+	}
+}
+
+// BenchmarkSimulatedMinute measures simulator throughput: one virtual
+// minute of a 100-node overlay with 50 live groups per iteration.
+func BenchmarkSimulatedMinute(b *testing.B) {
+	s := fuse.NewSim(100, 11)
+	for g := 0; g < 50; g++ {
+		if _, err := s.CreateGroup(g, (g+17)%100, (g+31)%100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFor(time.Minute)
+	}
+}
+
+// BenchmarkRegisterHandler measures handler registration on a live group.
+func BenchmarkRegisterHandler(b *testing.B) {
+	s := fuse.NewSim(16, 13)
+	id, err := s.CreateGroup(0, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RegisterFailureHandler(1, func(fuse.Notice) {}, id)
+	}
+	_ = fmt.Sprint(id)
+}
+
+// BenchmarkSwimComparison quantifies the §2 abstraction contrast between
+// a SWIM-style membership service and FUSE groups.
+func BenchmarkSwimComparison(b *testing.B) {
+	runExperiment(b, "swimcmp", map[string]string{
+		"swim_load_per_node": "swim-msg/s/node",
+		"fuse_load_per_node": "fuse-msg/s/node",
+		"swim_detect_s":      "swim-detect-s",
+		"fuse_detect_s":      "fuse-detect-s",
+	})
+}

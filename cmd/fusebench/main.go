@@ -1,0 +1,64 @@
+// Command fusebench regenerates the paper's tables and figures from the
+// simulated deployment. Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Usage:
+//
+//	fusebench -exp fig7              # one experiment
+//	fusebench -exp all               # everything (several minutes)
+//	fusebench -exp fig9 -short       # reduced scale
+//	fusebench -exp svtree -paper     # paper-scale variant (16k overlay)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fuse/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (fig6..fig12, steady, svtree, ablation, all)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		nodes = flag.Int("nodes", 0, "override overlay size (0 = experiment default)")
+		short = flag.Bool("short", false, "reduced-scale run")
+		paper = flag.Bool("paper", false, "paper-scale run where supported (e.g. 16k-node svtree)")
+	)
+	flag.Parse()
+
+	if *exp == "" {
+		fmt.Fprintf(os.Stderr, "usage: fusebench -exp <name>\navailable: %v, all\n", experiments.Names())
+		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+
+	params := experiments.Params{
+		Nodes:      *nodes,
+		Seed:       *seed,
+		Short:      *short,
+		PaperScale: *paper,
+	}
+
+	failed := false
+	for _, name := range names {
+		start := time.Now()
+		result, err := experiments.Run(name, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusebench: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Print(result.String())
+		fmt.Printf("(%s in %.1fs wall clock)\n\n", name, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

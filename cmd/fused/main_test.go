@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"fuse"
+)
+
+func TestParsePeer(t *testing.T) {
+	p, err := parsePeer("a.example.org@10.1.2.3:7946")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "a.example.org" || string(p.Addr) != "10.1.2.3:7946" {
+		t.Fatalf("parsed %+v", p)
+	}
+	for _, bad := range []string{"", "noat", "@addr", "name@"} {
+		if _, err := parsePeer(bad); err == nil {
+			t.Fatalf("parsePeer(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGroupIDRoundTrip(t *testing.T) {
+	id := fuse.GroupID{Root: fuse.PeerAt("r.example.org", "127.0.0.1:9"), Num: 0xdeadbeef}
+	s := formatID(id)
+	got, err := parseID([]string{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("round trip %v -> %q -> %v", id, s, got)
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	cases := [][]string{
+		{},                    // no arg
+		{"a", "b"},            // too many
+		{"r@addr"},            // no /num
+		{"noat/1f"},           // bad peer
+		{"r@addr/zz-not-hex"}, // bad number
+	}
+	for _, c := range cases {
+		if _, err := parseID(c); err == nil {
+			t.Fatalf("parseID(%v) accepted", c)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// CDN replica-set fate sharing (§4.1 of the paper): a content delivery
+// network replicates documents onto small replica sets and uses one FUSE
+// group per document to tie the replicas' state together. When any
+// replica fails, every surviving replica hears the notification, discards
+// its now-unguarded copy, and the origin re-replicates onto a fresh set
+// with a fresh group - the paper's garbage-collect-and-retry pattern.
+//
+// Runs in the deterministic simulator (40 nodes, virtual time), so the
+// output is reproducible.
+//
+// Run with:
+//
+//	go run ./examples/cdn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fuse"
+)
+
+const (
+	nodes    = 40
+	docs     = 8
+	replicas = 3
+)
+
+// doc tracks one document's current replica set and its guarding group.
+type doc struct {
+	name    string
+	origin  int
+	set     []int
+	group   fuse.GroupID
+	version int
+}
+
+func main() {
+	sim := fuse.NewSim(nodes, 2004)
+
+	store := make(map[int]map[string]bool) // node -> docs it holds
+	for i := 0; i < nodes; i++ {
+		store[i] = make(map[string]bool)
+	}
+
+	var all []*doc
+	var place func(d *doc)
+	place = func(d *doc) {
+		d.version++
+		// Choose a replica set that avoids crashed nodes.
+		d.set = d.set[:0]
+		for i := 0; len(d.set) < replicas && i < nodes; i++ {
+			cand := (d.origin + d.version*7 + i*5) % nodes
+			if !sim.Crashed(cand) {
+				d.set = append(d.set, cand)
+			}
+		}
+		id, err := sim.CreateGroup(d.set[0], d.set[1:]...)
+		if err != nil {
+			log.Fatalf("replicate %s: %v", d.name, err)
+		}
+		d.group = id
+		for _, r := range d.set {
+			store[r][d.name] = true
+		}
+		v := d.version
+		for _, r := range d.set {
+			r := r
+			sim.RegisterFailureHandler(r, func(fuse.Notice) {
+				// Fate sharing: this copy is no longer guarded; drop it.
+				delete(store[r], d.name)
+				// The origin-side replica re-replicates (exactly one
+				// initiator, as in the paper's SV trees).
+				if r == d.set[0] && v == d.version && !sim.Crashed(r) {
+					place(d)
+					fmt.Printf("  %s re-replicated (v%d) onto %v\n", d.name, d.version, d.set)
+				}
+			}, id)
+		}
+	}
+
+	fmt.Printf("replicating %d documents onto %d-node replica sets...\n", docs, replicas)
+	for k := 0; k < docs; k++ {
+		d := &doc{name: fmt.Sprintf("doc-%02d", k), origin: k * 3 % nodes}
+		all = append(all, d)
+		place(d)
+		fmt.Printf("  %s (v1) on %v group %s\n", d.name, d.set, d.group)
+	}
+
+	// Crash one storage node and let FUSE's monitoring do its job.
+	victim := all[0].set[1]
+	fmt.Printf("\ncrashing node %d (holds:", victim)
+	for name := range store[victim] {
+		fmt.Printf(" %s", name)
+	}
+	fmt.Println(")")
+	sim.Crash(victim)
+	sim.RunFor(10 * time.Minute) // detection + notification + re-replication
+
+	// Verify: every document is fully replicated on live nodes again.
+	fmt.Println("\nfinal placement:")
+	for _, d := range all {
+		live := 0
+		for _, r := range d.set {
+			if !sim.Crashed(r) && store[r][d.name] {
+				live++
+			}
+		}
+		fmt.Printf("  %s v%d on %v (%d live replicas)\n", d.name, d.version, d.set, live)
+		if live < replicas {
+			log.Fatalf("%s under-replicated", d.name)
+		}
+	}
+	fmt.Println("\nno orphaned replicas, no unguarded documents.")
+}

@@ -1,0 +1,70 @@
+// Intransitive connectivity and fail-on-send (§3.4 of the paper).
+//
+// An intransitive failure - A cannot reach B, but both can reach C - is
+// the case membership services handle badly: declaring either node dead
+// punishes everyone else, declaring both alive blocks the application.
+// FUSE's answer is shared responsibility: the service does not notice
+// (the broken path is not one it monitors), the *application* notices on
+// its next send, signals the group, and every member converges on the
+// failure - including the pair that cannot talk to each other.
+//
+// Run with:
+//
+//	go run ./examples/intransitive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fuse"
+)
+
+func main() {
+	sim := fuse.NewSim(24, 7)
+
+	// A three-party computation: node 2 is the coordinator (root),
+	// nodes 8 and 15 are workers that stream data to each other.
+	coordinator, workerA, workerB := 2, 8, 15
+	id, err := sim.CreateGroup(coordinator, workerA, workerB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("group %s over coordinator %d and workers %d, %d\n", id, coordinator, workerA, workerB)
+
+	for _, n := range []int{coordinator, workerA, workerB} {
+		n := n
+		sim.RegisterFailureHandler(n, func(nt fuse.Notice) {
+			fmt.Printf("  node %d notified at t=%s\n", n, sim.Now().Format("15:04:05"))
+		}, id)
+	}
+
+	// The intransitive failure: only the worker-to-worker path breaks.
+	fmt.Printf("\nbreaking connectivity between %d and %d only (both still reach everyone else)\n",
+		workerA, workerB)
+	sim.BlockPair(workerA, workerB)
+
+	// FUSE keeps monitoring its own spanning tree, which does not use
+	// the broken path: no false positive, the group stays up.
+	sim.RunFor(10 * time.Minute)
+	if !sim.HasState(coordinator, id) {
+		log.Fatal("unexpected automatic notification")
+	}
+	fmt.Println("10 minutes later: FUSE (correctly) reports nothing - the monitored paths are fine")
+
+	// The application's next worker-to-worker transfer fails. It cannot
+	// fix the network, but it can declare *this computation* failed
+	// without declaring any node dead.
+	fmt.Printf("\nworker %d's send to worker %d times out -> fail-on-send: SignalFailure\n",
+		workerA, workerB)
+	sim.SignalFailure(workerA, id)
+	sim.RunFor(time.Minute)
+
+	for _, n := range []int{coordinator, workerA, workerB} {
+		if sim.HasState(n, id) {
+			log.Fatalf("node %d still has state", n)
+		}
+	}
+	fmt.Println("\nall three members converged; the coordinator can now retry with a different worker pair.")
+}

@@ -1,0 +1,73 @@
+// Package fuse is a lightweight distributed failure notification service,
+// an implementation of "FUSE: Lightweight Guaranteed Distributed Failure
+// Notification" (Dunagan, Harvey, Jones, Kostić, Theimer, Wolman; OSDI
+// 2004).
+//
+// Applications create a FUSE group over an immutable set of nodes. From
+// then on the service guarantees distributed one-way agreement: whenever
+// a failure notification is triggered - explicitly by the application or
+// implicitly by FUSE's liveness checking - every live member hears the
+// notification, exactly once, within a bounded time, under node crashes
+// and arbitrary network failures (partitions, intransitive connectivity,
+// message loss and reordering). Failure notifications never fail.
+//
+// The API is the paper's Figure 1:
+//
+//	id, err := node.CreateGroup(ctx, members)   // blocking create
+//	node.RegisterFailureHandler(handler, id)    // callback on failure
+//	node.SignalFailure(id)                      // explicit trigger
+//
+// Detecting failures is a responsibility shared between FUSE and the
+// application: FUSE converts any member's local observation (or its own
+// monitoring) into a group-wide notification, and applications signal
+// explicitly when application-level constraints are violated
+// (fail-on-send, §3.4 of the paper).
+//
+// Two deployments of the same protocol stack are provided:
+//
+//   - Start runs a live node over TCP (package
+//     internal/transport/tcpnet), for real multi-process deployments.
+//   - NewSim runs a whole deployment inside a deterministic discrete-event
+//     simulation (internal/transport/simnet) on a synthetic wide-area
+//     topology, for tests and experiments.
+//
+// Both share an identical code base except for the base messaging layer,
+// as in the paper's evaluation.
+package fuse
+
+import (
+	"fuse/internal/core"
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// Peer identifies a FUSE node: a stable overlay name plus its dialable
+// transport address.
+type Peer = overlay.NodeRef
+
+// GroupID uniquely names a FUSE group. It embeds the identity of the
+// group's root (creator), which members use for direct repair and
+// notification traffic.
+type GroupID = core.GroupID
+
+// Notice is delivered to failure handlers. Reason is best-effort local
+// diagnostics: the protocol deliberately does not guarantee that members
+// can distinguish failure causes (a node behind a partition cannot be
+// told why the group failed).
+type Notice = core.Notice
+
+// Handler is an application failure callback. Handlers run on the owning
+// node's event loop: they must not block, and they may freely call back
+// into the FUSE API.
+type Handler = core.Handler
+
+// ErrCreateTimeout is returned by CreateGroup when some member could not
+// be contacted within the creation timeout.
+var ErrCreateTimeout = core.ErrCreateTimeout
+
+// PeerAt constructs a Peer from a node name and its dialable address.
+// (The Addr field's named type lives in an internal package, so callers
+// outside this module use this constructor for non-constant addresses.)
+func PeerAt(name, addr string) Peer {
+	return Peer{Name: name, Addr: transport.Addr(addr)}
+}

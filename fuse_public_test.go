@@ -1,0 +1,243 @@
+package fuse_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"fuse"
+)
+
+// startLive boots n live TCP nodes on loopback with compressed timeouts,
+// joined into one overlay.
+func startLive(t *testing.T, n int) []*fuse.Node {
+	t.Helper()
+	nodes := make([]*fuse.Node, n)
+	for i := 0; i < n; i++ {
+		cfg := fuse.NodeConfig{
+			Name:      nodeName(i),
+			Bind:      "127.0.0.1:0",
+			TimeScale: 0.02, // 60s ping period -> 1.2s, etc.
+		}
+		if i > 0 {
+			cfg.Bootstrap = nodes[0].Ref()
+		}
+		nd, err := fuse.Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Close)
+		nodes[i] = nd
+		time.Sleep(50 * time.Millisecond) // let joins interleave
+	}
+	time.Sleep(500 * time.Millisecond)
+	return nodes
+}
+
+func nodeName(i int) string {
+	return string(rune('a'+i)) + ".live.example.org"
+}
+
+func TestLiveCreateAndSignal(t *testing.T) {
+	nodes := startLive(t, 4)
+	members := []fuse.Peer{nodes[0].Ref(), nodes[1].Ref(), nodes[2].Ref()}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	id, err := nodes[0].CreateGroup(ctx, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	notified := map[string]int{}
+	done := make(chan struct{}, 3)
+	for _, nd := range nodes[:3] {
+		name := nd.Ref().Name
+		nd.RegisterFailureHandler(func(fuse.Notice) {
+			mu.Lock()
+			notified[name]++
+			mu.Unlock()
+			done <- struct{}{}
+		}, id)
+	}
+
+	nodes[1].SignalFailure(id)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of 3 nodes notified", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for name, c := range notified {
+		if c != 1 {
+			t.Fatalf("%s notified %d times", name, c)
+		}
+	}
+}
+
+func TestLiveCrashTriggersNotification(t *testing.T) {
+	nodes := startLive(t, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	id, err := nodes[0].CreateGroup(ctx, []fuse.Peer{nodes[0].Ref(), nodes[2].Ref(), nodes[3].Ref()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 2)
+	for _, nd := range []*fuse.Node{nodes[0], nodes[3]} {
+		name := nd.Ref().Name
+		nd.RegisterFailureHandler(func(fuse.Notice) { done <- name }, id)
+	}
+	nodes[2].Close() // hard stop: no goodbye
+	// Detection needs a ping round plus repair timeouts, all scaled by
+	// 0.02: (60+20)*0.02 = 1.6s ping cycle, repair timeouts 1.2/2.4s.
+	deadline := time.After(30 * time.Second)
+	got := map[string]bool{}
+	for len(got) < 2 {
+		select {
+		case name := <-done:
+			got[name] = true
+		case <-deadline:
+			t.Fatalf("notified: %v", got)
+		}
+	}
+}
+
+func TestLiveRegisterUnknownFiresImmediately(t *testing.T) {
+	nodes := startLive(t, 2)
+	fired := make(chan struct{}, 1)
+	bogus := fuse.GroupID{Root: nodes[0].Ref(), Num: 777}
+	nodes[1].RegisterFailureHandler(func(fuse.Notice) { fired <- struct{}{} }, bogus)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler for unknown group did not fire")
+	}
+}
+
+func TestLiveCreateGroupContextCancel(t *testing.T) {
+	nodes := startLive(t, 2)
+	// A member that does not exist: creation will wait for its timeout,
+	// but the context fires first.
+	ghost := fuse.Peer{Name: "ghost.example.org", Addr: "127.0.0.1:1"}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := nodes[0].CreateGroup(ctx, []fuse.Peer{nodes[0].Ref(), nodes[1].Ref(), ghost})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if err != context.DeadlineExceeded {
+		t.Logf("err = %v (create timeout also acceptable)", err)
+	}
+}
+
+func TestSimFacade(t *testing.T) {
+	s := fuse.NewSim(24, 42)
+	id, err := s.CreateGroup(0, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, i := range []int{0, 5, 10} {
+		i := i
+		s.RegisterFailureHandler(i, func(fuse.Notice) { counts[i]++ }, id)
+	}
+	s.Crash(10)
+	s.RunFor(6 * time.Minute)
+	for _, i := range []int{0, 5} {
+		if counts[i] != 1 {
+			t.Fatalf("node %d notified %d times", i, counts[i])
+		}
+	}
+	if s.HasState(0, id) {
+		t.Fatal("state not torn down")
+	}
+}
+
+func TestSimPartitionBothSidesNotified(t *testing.T) {
+	s := fuse.NewSim(16, 7)
+	id, err := s.CreateGroup(0, 4, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, i := range []int{0, 4, 8, 12} {
+		i := i
+		s.RegisterFailureHandler(i, func(fuse.Notice) { counts[i]++ }, id)
+	}
+	var a, b []int
+	for i := 0; i < 16; i++ {
+		if i < 8 {
+			a = append(a, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	s.Partition(a, b)
+	s.RunFor(8 * time.Minute)
+	for _, i := range []int{0, 4, 8, 12} {
+		if counts[i] != 1 {
+			t.Fatalf("node %d notified %d times", i, counts[i])
+		}
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() uint64 {
+		s := fuse.NewSim(20, 99)
+		id, err := s.CreateGroup(1, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SignalFailure(2, id)
+		s.RunFor(10 * time.Minute)
+		return s.MessagesSent()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different message counts: %d vs %d", a, b)
+	}
+}
+
+func TestPeerAt(t *testing.T) {
+	p := fuse.PeerAt("x.example.org", "10.0.0.1:7946")
+	if p.Name != "x.example.org" || string(p.Addr) != "10.0.0.1:7946" {
+		t.Fatalf("PeerAt = %+v", p)
+	}
+	if p.IsZero() {
+		t.Fatal("constructed peer reported zero")
+	}
+}
+
+func TestStartRequiresName(t *testing.T) {
+	if _, err := fuse.Start(fuse.NodeConfig{Bind: "127.0.0.1:0"}); err == nil {
+		t.Fatal("expected error for missing name")
+	}
+}
+
+func TestStartBadBindFails(t *testing.T) {
+	if _, err := fuse.Start(fuse.NodeConfig{Name: "x", Bind: "256.0.0.1:99999"}); err == nil {
+		t.Fatal("expected error for bad bind address")
+	}
+}
+
+func TestSimBlockPairAndHeal(t *testing.T) {
+	s := fuse.NewSim(12, 3)
+	id, err := s.CreateGroup(0, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BlockPair(4, 8) // unmonitored application path: no effect on FUSE
+	s.RunFor(5 * time.Minute)
+	if !s.HasState(0, id) {
+		t.Fatal("intransitive block caused a false positive")
+	}
+	s.Heal()
+	s.RunFor(time.Minute)
+	if !s.HasState(4, id) {
+		t.Fatal("group lost after heal")
+	}
+}

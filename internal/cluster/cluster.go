@@ -1,0 +1,217 @@
+// Package cluster assembles complete simulated FUSE deployments: a
+// virtual-time network over a generated topology, with an overlay node
+// and a FUSE layer on every endpoint. It is the shared substrate of the
+// protocol test suites and the experiment harness (the equivalent of the
+// paper's simulator driver and ModelNet cluster scripts).
+package cluster
+
+import (
+	"fmt"
+
+	"fuse/internal/core"
+	"fuse/internal/eventsim"
+	"fuse/internal/netmodel"
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+	"fuse/internal/transport/simnet"
+)
+
+// Options configures a simulated deployment.
+type Options struct {
+	N          int
+	Seed       int64
+	NetConfig  *netmodel.Config // nil => netmodel.DefaultConfig(Seed)
+	SimOptions *simnet.Options  // nil => no per-message overheads
+	Overlay    *overlay.Config  // nil => overlay.DefaultConfig()
+	Fuse       *core.Config     // nil => core.DefaultConfig()
+
+	// SkipAssemble leaves routing tables empty so a test can exercise
+	// the join protocol instead.
+	SkipAssemble bool
+}
+
+// Node bundles one endpoint's protocol stack.
+type Node struct {
+	Index   int
+	Addr    transport.Addr
+	Router  netmodel.RouterID
+	Env     transport.Env
+	Overlay *overlay.Node
+	Fuse    *core.Fuse
+}
+
+// Ref returns the node's overlay identity.
+func (n *Node) Ref() overlay.NodeRef { return n.Overlay.Self() }
+
+// Cluster is a complete simulated deployment.
+type Cluster struct {
+	Sim   *eventsim.Sim
+	Topo  *netmodel.Topology
+	Net   *simnet.Net
+	Nodes []*Node
+
+	overlayCfg overlay.Config
+	fuseCfg    core.Config
+	nextIndex  int
+}
+
+// AddrOf returns the deterministic transport address of node index i.
+func AddrOf(i int) transport.Addr { return transport.Addr(fmt.Sprintf("node-%04d", i)) }
+
+// NameOf returns the deterministic overlay name of node index i.
+func NameOf(i int) string { return fmt.Sprintf("n%04d.fuse.example.org", i) }
+
+// New builds a deployment of opts.N nodes and (unless SkipAssemble) wires
+// the overlay statically into its converged state.
+func New(opts Options) *Cluster {
+	if opts.N <= 0 {
+		panic("cluster: N must be positive")
+	}
+	netCfg := netmodel.DefaultConfig(opts.Seed)
+	if opts.NetConfig != nil {
+		netCfg = *opts.NetConfig
+	}
+	simOpts := simnet.Options{}
+	if opts.SimOptions != nil {
+		simOpts = *opts.SimOptions
+	}
+	ovCfg := overlay.DefaultConfig()
+	if opts.Overlay != nil {
+		ovCfg = *opts.Overlay
+	}
+	fuseCfg := core.DefaultConfig()
+	if opts.Fuse != nil {
+		fuseCfg = *opts.Fuse
+	}
+
+	sim := eventsim.New(opts.Seed)
+	topo := netmodel.Generate(netCfg)
+	net := simnet.New(sim, topo, simOpts)
+	c := &Cluster{
+		Sim:        sim,
+		Topo:       topo,
+		Net:        net,
+		overlayCfg: ovCfg,
+		fuseCfg:    fuseCfg,
+	}
+	pts := topo.AttachPoints(opts.N, sim.Rand())
+	for i := 0; i < opts.N; i++ {
+		c.addNode(pts[i])
+	}
+	if !opts.SkipAssemble {
+		c.Assemble()
+	}
+	return c
+}
+
+func (c *Cluster) addNode(router netmodel.RouterID) *Node {
+	i := c.nextIndex
+	c.nextIndex++
+	addr := AddrOf(i)
+	env := c.Net.AddNode(addr, router)
+	n := c.buildStack(i, addr, router, env)
+	c.Nodes = append(c.Nodes, n)
+	return n
+}
+
+// buildStack constructs the overlay + FUSE layers over env and installs
+// the message dispatcher.
+func (c *Cluster) buildStack(i int, addr transport.Addr, router netmodel.RouterID, env transport.Env) *Node {
+	ov := overlay.New(env, c.overlayCfg, NameOf(i))
+	fu := core.New(env, ov, c.fuseCfg)
+	n := &Node{Index: i, Addr: addr, Router: router, Env: env, Overlay: ov, Fuse: fu}
+	c.Net.SetHandler(addr, func(from transport.Addr, msg any) {
+		if ov.Handle(from, msg) {
+			return
+		}
+		if fu.Handle(from, msg) {
+			return
+		}
+		env.Logf("cluster: unhandled message %T from %s", msg, from)
+	})
+	return n
+}
+
+// Assemble wires all current nodes' routing tables to the converged state
+// and starts liveness pinging.
+func (c *Cluster) Assemble() {
+	ovs := make([]*overlay.Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if !c.Net.Crashed(n.Addr) {
+			ovs = append(ovs, n.Overlay)
+		}
+	}
+	overlay.AssembleStatic(ovs)
+}
+
+// AddNode grows the deployment by one fresh node attached to a random
+// router; the caller decides whether to Join it or re-Assemble.
+func (c *Cluster) AddNode() *Node {
+	router := netmodel.RouterID(c.Sim.Rand().Intn(c.Topo.NumRouters()))
+	return c.addNode(router)
+}
+
+// Crash fail-stops node i.
+func (c *Cluster) Crash(i int) { c.Net.Crash(c.Nodes[i].Addr) }
+
+// Crashed reports whether node i is down.
+func (c *Cluster) Crashed(i int) bool { return c.Net.Crashed(c.Nodes[i].Addr) }
+
+// Restart revives node i with a fresh stack (all volatile state lost, as
+// in the paper's crash-recovery model) and rejoins the overlay through
+// bootstrap. The new stack replaces Nodes[i].
+func (c *Cluster) Restart(i int, bootstrap overlay.NodeRef) *Node {
+	old := c.Nodes[i]
+	env := c.Net.Restart(old.Addr)
+	n := c.buildStack(old.Index, old.Addr, old.Router, env)
+	c.Nodes[i] = n
+	n.Overlay.Join(bootstrap)
+	return n
+}
+
+// RestartWithStore revives node i like Restart but attaches the given
+// stable storage and runs crash recovery from it (the §3.6 stable-storage
+// variant): recorded group memberships are resumed instead of forgotten.
+func (c *Cluster) RestartWithStore(i int, bootstrap overlay.NodeRef, store core.Persistence) (*Node, error) {
+	n := c.Restart(i, bootstrap)
+	n.Fuse.SetPersistence(store)
+	if err := n.Fuse.Recover(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// AttachStore gives node i stable storage for subsequent memberships.
+func (c *Cluster) AttachStore(i int, store core.Persistence) {
+	c.Nodes[i].Fuse.SetPersistence(store)
+}
+
+// Refs converts node indices to overlay references.
+func (c *Cluster) Refs(idxs ...int) []overlay.NodeRef {
+	out := make([]overlay.NodeRef, len(idxs))
+	for i, idx := range idxs {
+		out[i] = c.Nodes[idx].Ref()
+	}
+	return out
+}
+
+// CreateGroup drives a group creation from node root over the given
+// member indices and runs the simulation until the creation completes,
+// returning the result.
+func (c *Cluster) CreateGroup(root int, members ...int) (core.GroupID, error) {
+	var (
+		gotID  core.GroupID
+		gotErr error
+		done   bool
+	)
+	refs := c.Refs(append([]int{root}, members...)...)
+	c.Nodes[root].Fuse.CreateGroup(refs, func(id core.GroupID, err error) {
+		gotID, gotErr, done = id, err, true
+	})
+	for !done && c.Sim.Step() {
+	}
+	if !done {
+		panic("cluster: simulation drained before group creation completed")
+	}
+	return gotID, gotErr
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"sort"
+
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// Liveness checking (§6.3): tree links, ping piggyback hashes, list
+// reconciliation, and the link-failure transition that converts any local
+// observation into a group-wide notification.
+
+// addTreeLink installs (or refreshes) the monitored link to neighbor for
+// group id at sequence seq.
+func (f *Fuse) addTreeLink(id GroupID, seq uint64, neighbor overlay.NodeRef) {
+	if neighbor.IsZero() || neighbor.Addr == f.self.Addr {
+		return
+	}
+	cs := f.checking[id]
+	if cs == nil {
+		cs = &checkState{id: id, links: make(map[transport.Addr]*treeLink)}
+		f.checking[id] = cs
+	}
+	if seq > cs.seq {
+		cs.seq = seq
+	}
+	if l, ok := cs.links[neighbor.Addr]; ok {
+		l.installedAt = f.env.Now()
+		f.resetLinkTimer(cs, l)
+		return
+	}
+	l := &treeLink{neighbor: neighbor, installedAt: f.env.Now()}
+	cs.links[neighbor.Addr] = l
+	f.resetLinkTimer(cs, l)
+}
+
+func (f *Fuse) resetLinkTimer(cs *checkState, l *treeLink) {
+	stopTimer(l.timer)
+	id := cs.id
+	neighbor := l.neighbor
+	l.timer = f.env.After(f.cfg.CheckTimeout, func() {
+		f.logf("check timeout for %s link %s", id, neighbor.Name)
+		f.linkFailed(id, neighbor)
+	})
+}
+
+// linkFailed implements the paper's core transition: a node that decides a
+// tree link has failed "ceases to acknowledge pings for the given FUSE
+// group along all its links" - concretely, it spreads a SoftNotification
+// to every tree neighbor, drops its delegate state, and, if it is a member
+// or the root, initiates repair.
+func (f *Fuse) linkFailed(id GroupID, from overlay.NodeRef) {
+	cs, ok := f.checking[id]
+	if ok {
+		seq := cs.seq
+		for _, l := range sortedLinks(cs) {
+			if l.neighbor.Addr == from.Addr {
+				continue
+			}
+			f.env.Send(l.neighbor.Addr, msgSoftNotification{ID: id, Seq: seq, From: f.self})
+		}
+		f.dropChecking(id)
+	}
+	f.reactToTreeFailure(id)
+}
+
+// sortedLinks returns a group's tree links in deterministic order, so
+// identically seeded simulations emit identical event sequences.
+func sortedLinks(cs *checkState) []*treeLink {
+	out := make([]*treeLink, 0, len(cs.links))
+	for _, l := range cs.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].neighbor.Addr < out[j].neighbor.Addr })
+	return out
+}
+
+// reactToTreeFailure triggers the role-specific response to a broken
+// checking tree: members ask the root to repair, the root repairs
+// directly, delegates do nothing further.
+func (f *Fuse) reactToTreeFailure(id GroupID) {
+	if rs, ok := f.roots[id]; ok {
+		f.scheduleRepair(rs)
+		return
+	}
+	if ms, ok := f.members[id]; ok {
+		f.memberNeedsRepair(ms)
+	}
+}
+
+// handleSoft processes a SoftNotification (§6.4): discard if stale,
+// otherwise forward through the tree, clean up delegate state, and react
+// by role. SoftNotifications never reach the application.
+func (f *Fuse) handleSoft(m msgSoftNotification) {
+	cs, ok := f.checking[m.ID]
+	if ok {
+		if m.Seq < cs.seq {
+			return // stale generation: a repair already superseded it
+		}
+		for _, l := range sortedLinks(cs) {
+			if l.neighbor.Addr == m.From.Addr {
+				continue
+			}
+			f.env.Send(l.neighbor.Addr, msgSoftNotification{ID: m.ID, Seq: m.Seq, From: f.self})
+		}
+		f.dropChecking(m.ID)
+		f.reactToTreeFailure(m.ID)
+		return
+	}
+	// No checking state: still meaningful for a member or root whose
+	// tree was already torn down.
+	if _, isMember := f.members[m.ID]; isMember {
+		f.reactToTreeFailure(m.ID)
+	} else if _, isRoot := f.roots[m.ID]; isRoot {
+		f.reactToTreeFailure(m.ID)
+	}
+}
+
+// --- overlay client interface ---
+
+var _ overlay.Client = (*Fuse)(nil)
+
+// OnRouteMessage receives overlay upcalls: InstallChecking messages at
+// delegates, at the root, and at nodes where routing dies.
+func (f *Fuse) OnRouteMessage(msg any, info overlay.RouteInfo) {
+	ic, ok := msg.(msgInstallChecking)
+	if !ok {
+		f.logf("unexpected routed message %T", msg)
+		return
+	}
+	switch {
+	case info.Dead:
+		// No next hop toward the root: undo the partial path so the
+		// member re-initiates repair, with backoff at the root
+		// bounding the frequency (§6.5).
+		if !info.Prev.IsZero() {
+			f.env.Send(info.Prev.Addr, msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
+		} else {
+			// Died at the origin member itself.
+			f.reactToTreeFailure(ic.ID)
+		}
+	case info.Arrived:
+		f.installArrivedAtRoot(ic, info.Prev)
+	default:
+		// Delegate hop: monitor both sides of the path.
+		f.addTreeLink(ic.ID, ic.Seq, info.Prev)
+		f.addTreeLink(ic.ID, ic.Seq, info.Next)
+	}
+}
+
+// installArrivedAtRoot credits a member's InstallChecking and monitors the
+// last link of its path.
+func (f *Fuse) installArrivedAtRoot(ic msgInstallChecking, prev overlay.NodeRef) {
+	if rs, ok := f.roots[ic.ID]; ok {
+		if ic.Seq < rs.seq {
+			return // stale generation
+		}
+		delete(rs.installPending, ic.Member.Name)
+		f.addTreeLink(ic.ID, ic.Seq, prev)
+		if len(rs.installPending) == 0 {
+			stopTimer(rs.installTimer)
+			rs.installTimer = nil
+			rs.backoff = f.cfg.RepairBackoffInitial // tree healthy again
+		}
+		return
+	}
+	if c, ok := f.creating[ic.ID]; ok {
+		// Install raced ahead of the create replies; remember it.
+		c.installArrived[ic.Member.Name] = prev
+		return
+	}
+	// Group is gone at the root: tear the fresh path back down.
+	if !prev.IsZero() {
+		f.env.Send(prev.Addr, msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
+	}
+}
+
+// PingPayload supplies the piggyback hash for an overlay ping to neighbor:
+// the SHA-1 over the sorted IDs of all groups whose checking tree includes
+// the link to that neighbor (20 bytes, exactly the paper's overhead).
+func (f *Fuse) PingPayload(neighbor overlay.NodeRef) []byte {
+	ids := f.groupsOnLink(neighbor.Addr)
+	return hashGroupIDs(ids)
+}
+
+// OnPingPayload checks the neighbor's piggybacked hash against our own
+// view of the jointly monitored groups. A match refreshes every timer on
+// the link; a mismatch starts an explicit list exchange.
+func (f *Fuse) OnPingPayload(neighbor overlay.NodeRef, payload []byte) {
+	ids := f.groupsOnLink(neighbor.Addr)
+	local := hashGroupIDs(ids)
+	if bytes.Equal(local, payload) {
+		for _, id := range ids {
+			cs := f.checking[id]
+			if l, ok := cs.links[neighbor.Addr]; ok {
+				f.resetLinkTimer(cs, l)
+			}
+		}
+		return
+	}
+	f.env.Send(neighbor.Addr, msgGroupLists{From: f.self, Entries: f.linkEntries(neighbor.Addr), IsReply: false})
+}
+
+// OnNeighborDown converts an overlay-level link death into FUSE link
+// failures for every group monitored across that link.
+func (f *Fuse) OnNeighborDown(neighbor overlay.NodeRef) {
+	for _, id := range f.groupsOnLink(neighbor.Addr) {
+		f.linkFailed(id, overlay.NodeRef{}) // not triggered by a peer's soft: notify all links
+	}
+}
+
+// groupsOnLink lists the groups whose checking tree crosses the link to
+// addr, sorted for deterministic hashing.
+func (f *Fuse) groupsOnLink(addr transport.Addr) []GroupID {
+	var ids []GroupID
+	for id, cs := range f.checking {
+		if _, ok := cs.links[addr]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Root.Name != ids[j].Root.Name {
+			return ids[i].Root.Name < ids[j].Root.Name
+		}
+		return ids[i].Num < ids[j].Num
+	})
+	return ids
+}
+
+func (f *Fuse) linkEntries(addr transport.Addr) []listEntry {
+	ids := f.groupsOnLink(addr)
+	entries := make([]listEntry, len(ids))
+	for i, id := range ids {
+		entries[i] = listEntry{ID: id, Seq: f.checking[id].seq}
+	}
+	return entries
+}
+
+// hashGroupIDs produces the 20-byte piggyback digest. An empty set hashes
+// to nil so that idle links carry no payload at all.
+func hashGroupIDs(ids []GroupID) []byte {
+	if len(ids) == 0 {
+		return nil
+	}
+	h := sha1.New()
+	for _, id := range ids {
+		h.Write([]byte(id.Root.Name))
+		h.Write([]byte{0})
+		var num [8]byte
+		for i := 0; i < 8; i++ {
+			num[i] = byte(id.Num >> (8 * i))
+		}
+		h.Write(num[:])
+	}
+	return h.Sum(nil)
+}
+
+// handleGroupLists reconciles after a hash mismatch (§6.3): groups both
+// sides agree on get their timers reset; groups only we believe in are
+// torn down as link failures - unless they are younger than the grace
+// period, which covers the installation race during group creation.
+func (f *Fuse) handleGroupLists(m msgGroupLists) {
+	theirs := make(map[GroupID]bool, len(m.Entries))
+	for _, e := range m.Entries {
+		theirs[e.ID] = true
+	}
+	now := f.env.Now()
+	for _, id := range f.groupsOnLink(m.From.Addr) {
+		cs := f.checking[id]
+		l := cs.links[m.From.Addr]
+		if theirs[id] {
+			f.resetLinkTimer(cs, l)
+			continue
+		}
+		if now.Sub(l.installedAt) < f.cfg.GracePeriod {
+			continue // too young to judge: the neighbor may not have installed yet
+		}
+		f.logf("reconciliation: %s not monitored by %s, failing link", id, m.From.Name)
+		f.linkFailed(id, overlay.NodeRef{})
+	}
+	if !m.IsReply {
+		f.env.Send(m.From.Addr, msgGroupLists{From: f.self, Entries: f.linkEntries(m.From.Addr), IsReply: true})
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fuse/internal/overlay"
+)
+
+// Group creation (§6.2): the root contacts every member directly in
+// parallel and succeeds only when all reply; members concurrently route
+// InstallChecking messages toward the root to lay the liveness-checking
+// tree.
+
+// ErrCreateTimeout is reported when some member did not reply in time.
+var ErrCreateTimeout = errors.New("fuse: group creation timed out")
+
+// CreateGroup creates a FUSE group over members (which may, and usually
+// does, include this node itself). done is invoked exactly once on this
+// node's event loop: with the new group ID on success - guaranteeing every
+// member was alive and installed - or with an error after the creation
+// timeout, in which case any members that learned of the group are sent a
+// failure notification (Figure 1's CreateGroup; the public fuse package
+// wraps this in a blocking call for live deployments).
+func (f *Fuse) CreateGroup(members []overlay.NodeRef, done func(GroupID, error)) {
+	if done == nil {
+		done = func(GroupID, error) {}
+	}
+	id := GroupID{Root: f.self, Num: f.env.Rand().Uint64()}
+	others := make([]overlay.NodeRef, 0, len(members))
+	seen := map[string]bool{f.self.Name: true}
+	for _, m := range members {
+		if m.Name == f.self.Name || seen[m.Name] {
+			continue
+		}
+		seen[m.Name] = true
+		others = append(others, m)
+	}
+
+	if len(others) == 0 {
+		// A singleton group: trivially created, nothing to monitor.
+		f.roots[id] = &rootState{id: id}
+		f.env.After(0, func() { done(id, nil) })
+		return
+	}
+
+	c := &creating{
+		id:             id,
+		members:        others,
+		pending:        make(map[string]bool, len(others)),
+		installArrived: make(map[string]overlay.NodeRef),
+		done:           done,
+	}
+	for _, m := range others {
+		c.pending[m.Name] = true
+	}
+	f.creating[id] = c
+
+	for _, m := range others {
+		f.env.Send(m.Addr, msgGroupCreateRequest{ID: id, Members: members})
+	}
+	c.timer = f.env.After(f.cfg.CreateTimeout, func() { f.createTimedOut(c) })
+}
+
+// handleCreateRequest installs member state and replies (§6.2): reply
+// directly to the root and concurrently route an InstallChecking message
+// toward it.
+func (f *Fuse) handleCreateRequest(m msgGroupCreateRequest) {
+	if _, ok := f.members[m.ID]; ok {
+		// Duplicate (e.g. root retransmission): just re-reply.
+		f.env.Send(m.ID.Root.Addr, msgGroupCreateReply{ID: m.ID, Member: f.self})
+		return
+	}
+	ms := &memberState{id: m.ID, root: m.ID.Root}
+	f.members[m.ID] = ms
+	f.saveMember(ms)
+	f.env.Send(m.ID.Root.Addr, msgGroupCreateReply{ID: m.ID, Member: f.self})
+	f.sendInstallChecking(m.ID, 0)
+}
+
+// sendInstallChecking routes the member's InstallChecking toward the root
+// and begins monitoring the first link of the path.
+func (f *Fuse) sendInstallChecking(id GroupID, seq uint64) {
+	first, ok := f.ov.RouteTo(id.Root.Name, msgInstallChecking{ID: id, Seq: seq, Member: f.self})
+	if !ok {
+		// No overlay path to the root right now. The root's install
+		// timer will notice the missing InstallChecking and drive
+		// repair; meanwhile the member monitors nothing.
+		f.logf("no overlay route to root for %s", id)
+		return
+	}
+	f.addTreeLink(id, seq, first)
+}
+
+// handleCreateReply collects member acknowledgments at the root.
+func (f *Fuse) handleCreateReply(m msgGroupCreateReply) {
+	c, ok := f.creating[m.ID]
+	if !ok {
+		// Late reply after the creation timed out: the paper's rule is
+		// that removing the entry prevents late replies from installing
+		// state. The member will be cleaned by the HardNotification the
+		// timeout already sent.
+		return
+	}
+	delete(c.pending, m.Member.Name)
+	if len(c.pending) > 0 {
+		return
+	}
+	// Everyone replied: promote to live root state.
+	stopTimer(c.timer)
+	delete(f.creating, m.ID)
+	rs := &rootState{
+		id:             c.id,
+		members:        c.members,
+		installPending: make(map[string]bool, len(c.members)),
+		backoff:        f.cfg.RepairBackoffInitial,
+	}
+	for _, mem := range c.members {
+		rs.installPending[mem.Name] = true
+	}
+	// Credit InstallChecking messages that raced ahead of the replies.
+	for name, prev := range c.installArrived {
+		delete(rs.installPending, name)
+		if !prev.IsZero() {
+			f.addTreeLink(c.id, 0, prev)
+		}
+	}
+	f.roots[c.id] = rs
+	f.saveRoot(rs)
+	f.armInstallTimer(rs)
+	c.done(c.id, nil)
+}
+
+func (f *Fuse) armInstallTimer(rs *rootState) {
+	stopTimer(rs.installTimer)
+	if len(rs.installPending) == 0 {
+		rs.installTimer = nil
+		return
+	}
+	rs.installTimer = f.env.After(f.cfg.InstallTimeout, func() {
+		if len(rs.installPending) > 0 {
+			f.logf("install timer fired for %s (%d missing), repairing", rs.id, len(rs.installPending))
+			f.scheduleRepair(rs)
+		}
+	})
+}
+
+// createTimedOut fails a creation attempt: every member that might have
+// installed state gets a HardNotification, and the caller learns the
+// group never existed.
+func (f *Fuse) createTimedOut(c *creating) {
+	if _, still := f.creating[c.id]; !still {
+		return
+	}
+	delete(f.creating, c.id)
+	missing := 0
+	for _, m := range c.members {
+		f.env.Send(m.Addr, msgHardNotification{ID: c.id, From: f.self})
+		if c.pending[m.Name] {
+			missing++
+		}
+	}
+	f.dropChecking(c.id)
+	c.done(GroupID{}, fmt.Errorf("%w: %d of %d members unreachable", ErrCreateTimeout, missing, len(c.members)))
+}

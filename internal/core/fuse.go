@@ -1,0 +1,382 @@
+// Package core implements FUSE, the paper's contribution: lightweight
+// failure notification groups with distributed one-way agreement. Once a
+// group is created, any member (or FUSE itself) can trigger a failure
+// notification, and every live member is guaranteed to hear it within a
+// bounded time, under node crashes and arbitrary network failures.
+//
+// The implementation follows §6 of the paper:
+//
+//   - CreateGroup contacts every member directly, in parallel, and blocks
+//     (logically: completes its callback) only when all have replied, so a
+//     successful create means every member was alive and installed.
+//   - Each member routes an InstallChecking message through the overlay
+//     toward the root; every node on the path becomes a *delegate* holding
+//     (group, neighbor) timers. The union of these paths is the group's
+//     liveness-checking spanning tree.
+//   - Steady-state monitoring costs nothing beyond the overlay's own
+//     neighbor pings: each ping piggybacks a 20-byte SHA-1 hash of the
+//     group IDs the two endpoints jointly monitor. A matching hash resets
+//     all the corresponding timers; a mismatch triggers an explicit list
+//     reconciliation (with a grace period protecting in-flight installs).
+//   - A failed link (overlay ping timeout, FUSE timer expiry, or
+//     reconciliation disagreement) makes the node stop acknowledging the
+//     group and spread a SoftNotification through the tree; members react
+//     by asking the root for a repair (NeedRepair), and the root rebuilds
+//     the tree with direct GroupRepairRequests, sequence numbers
+//     disambiguating generations of checking state.
+//   - Repair failure, explicit SignalFailure, or repair reaching a node
+//     with no knowledge of the group produces a HardNotification, which is
+//     fanned member -> root -> members and invokes the application's
+//     failure handler exactly once per node.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// GroupID uniquely names a FUSE group. It embeds the root's identity so
+// any member can reach the root directly for repair and notification.
+type GroupID struct {
+	Root overlay.NodeRef
+	Num  uint64
+}
+
+// IsZero reports whether the ID is unset.
+func (id GroupID) IsZero() bool { return id == GroupID{} }
+
+func (id GroupID) String() string { return fmt.Sprintf("%s/%x", id.Root.Name, id.Num) }
+
+// Reason diagnoses why a notification fired. The paper's semantics
+// deliberately do not let applications distinguish causes across a
+// partition; Reason is best-effort local diagnostics for logging and
+// tests, not a protocol guarantee.
+type Reason string
+
+const (
+	ReasonCreateFailed  Reason = "create-failed"  // group creation did not complete
+	ReasonSignaled      Reason = "signaled"       // SignalFailure was called somewhere
+	ReasonRepairTimeout Reason = "repair-timeout" // member waited in vain for the root
+	ReasonRepairFailed  Reason = "repair-failed"  // root could not rebuild the tree
+	ReasonStateLost     Reason = "state-lost"     // repair met a node without the group
+	ReasonNotified      Reason = "notified"       // a HardNotification arrived
+)
+
+// Notice is delivered to registered failure handlers.
+type Notice struct {
+	ID     GroupID
+	Reason Reason
+}
+
+// Handler is an application failure callback.
+type Handler func(Notice)
+
+// Config holds the FUSE layer timing parameters. Defaults mirror the
+// paper's evaluation: 1 minute member-repair timeout, 2 minute root-repair
+// timeout, 5 second reconciliation grace period, exponential repair
+// backoff capped at 40 seconds.
+type Config struct {
+	// CreateTimeout bounds how long the root waits for all
+	// GroupCreateReplies before declaring creation failed.
+	CreateTimeout time.Duration
+
+	// InstallTimeout bounds how long the root waits for every member's
+	// InstallChecking to arrive before attempting a repair.
+	InstallTimeout time.Duration
+
+	// CheckTimeout is the freshness bound on a (group, neighbor) tree
+	// link: if no matching-hash ping arrives within it, the link is
+	// declared failed. It must exceed the overlay ping interval plus
+	// ping timeout.
+	CheckTimeout time.Duration
+
+	// MemberRepairTimeout is how long a member waits for the root to
+	// respond to NeedRepair before concluding the group has failed.
+	MemberRepairTimeout time.Duration
+
+	// RootRepairTimeout is how long the root waits for all
+	// GroupRepairReplies before declaring the group failed.
+	RootRepairTimeout time.Duration
+
+	// GracePeriod protects freshly installed checking state from being
+	// torn down by a reconciliation race during group creation.
+	GracePeriod time.Duration
+
+	// RepairBackoffInitial and RepairBackoffCap bound the per-group
+	// exponential backoff between repair attempts.
+	RepairBackoffInitial time.Duration
+	RepairBackoffCap     time.Duration
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		CreateTimeout:        30 * time.Second,
+		InstallTimeout:       30 * time.Second,
+		CheckTimeout:         90 * time.Second, // ping interval 60s + timeout 20s + slack
+		MemberRepairTimeout:  time.Minute,
+		RootRepairTimeout:    2 * time.Minute,
+		GracePeriod:          5 * time.Second,
+		RepairBackoffInitial: 2 * time.Second,
+		RepairBackoffCap:     40 * time.Second,
+	}
+}
+
+// Scale returns a copy with every duration multiplied by f (tests run
+// protocol time compressed).
+func (c Config) Scale(f float64) Config {
+	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	return Config{
+		CreateTimeout:        s(c.CreateTimeout),
+		InstallTimeout:       s(c.InstallTimeout),
+		CheckTimeout:         s(c.CheckTimeout),
+		MemberRepairTimeout:  s(c.MemberRepairTimeout),
+		RootRepairTimeout:    s(c.RootRepairTimeout),
+		GracePeriod:          s(c.GracePeriod),
+		RepairBackoffInitial: s(c.RepairBackoffInitial),
+		RepairBackoffCap:     s(c.RepairBackoffCap),
+	}
+}
+
+// Fuse is the per-node FUSE layer. It attaches to an overlay node as its
+// client and shares the node's single-threaded Env.
+type Fuse struct {
+	env transport.Env
+	ov  *overlay.Node
+	cfg Config
+
+	self overlay.NodeRef
+
+	creating map[GroupID]*creating
+	roots    map[GroupID]*rootState
+	members  map[GroupID]*memberState
+	checking map[GroupID]*checkState
+	handlers map[GroupID][]Handler
+
+	// persist, when non-nil, records group memberships durably (§3.6
+	// stable-storage variant).
+	persist Persistence
+
+	// Stats exposed for experiments.
+	notified uint64 // local handler invocations
+}
+
+// creating tracks a CreateGroup in progress at the root.
+type creating struct {
+	id      GroupID
+	members []overlay.NodeRef // excluding the root itself
+	pending map[string]bool   // member names yet to reply
+	// installArrived buffers InstallChecking arrivals that beat the last
+	// GroupCreateReply (a benign race the paper's grace period covers).
+	installArrived map[string]overlay.NodeRef // member name -> prev hop
+	timer          transport.Timer
+	done           func(GroupID, error)
+}
+
+// rootState is the root's view of a live group.
+type rootState struct {
+	id      GroupID
+	seq     uint64
+	members []overlay.NodeRef // excluding the root
+
+	// installPending tracks members whose current-generation
+	// InstallChecking has not yet arrived.
+	installPending map[string]bool
+	installTimer   transport.Timer
+
+	// repairPending, when non-nil, tracks an in-flight repair attempt.
+	repairPending map[string]bool
+	repairTimer   transport.Timer
+
+	backoff      time.Duration
+	backoffUntil time.Time
+	backoffTimer transport.Timer
+}
+
+// memberState is a non-root member's view of a live group.
+type memberState struct {
+	id   GroupID
+	seq  uint64
+	root overlay.NodeRef
+
+	// repairTimer is armed while waiting for the root to react to our
+	// NeedRepair; its expiry is the member-side failure conclusion.
+	repairTimer transport.Timer
+}
+
+// checkState holds a node's liveness-checking tree links for one group.
+// Roots, members and delegates all hold one when they are part of the
+// tree.
+type checkState struct {
+	id    GroupID
+	seq   uint64
+	links map[transport.Addr]*treeLink
+}
+
+// treeLink is one monitored (group, neighbor) pair.
+type treeLink struct {
+	neighbor    overlay.NodeRef
+	installedAt time.Time
+	timer       transport.Timer
+}
+
+// New creates the FUSE layer for an overlay node and installs itself as
+// the overlay's client.
+func New(env transport.Env, ov *overlay.Node, cfg Config) *Fuse {
+	f := &Fuse{
+		env:      env,
+		ov:       ov,
+		cfg:      cfg,
+		self:     ov.Self(),
+		creating: make(map[GroupID]*creating),
+		roots:    make(map[GroupID]*rootState),
+		members:  make(map[GroupID]*memberState),
+		checking: make(map[GroupID]*checkState),
+		handlers: make(map[GroupID][]Handler),
+	}
+	ov.SetClient(f)
+	return f
+}
+
+// Self returns this node's overlay identity.
+func (f *Fuse) Self() overlay.NodeRef { return f.self }
+
+// Notified reports how many local failure-handler invocations occurred.
+func (f *Fuse) Notified() uint64 { return f.notified }
+
+// LiveGroups returns the IDs of all groups this node currently holds any
+// state for (root, member, or delegate).
+func (f *Fuse) LiveGroups() []GroupID {
+	seen := make(map[GroupID]bool)
+	var out []GroupID
+	add := func(id GroupID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for id := range f.roots {
+		add(id)
+	}
+	for id := range f.members {
+		add(id)
+	}
+	for id := range f.checking {
+		add(id)
+	}
+	return out
+}
+
+// HasState reports whether the node holds any state for id.
+func (f *Fuse) HasState(id GroupID) bool {
+	if _, ok := f.roots[id]; ok {
+		return true
+	}
+	if _, ok := f.members[id]; ok {
+		return true
+	}
+	if _, ok := f.checking[id]; ok {
+		return true
+	}
+	_, ok := f.creating[id]
+	return ok
+}
+
+// RegisterFailureHandler registers a callback for failure notifications on
+// id (Figure 1 of the paper). If the group is unknown - possibly because a
+// notification already fired - the handler is invoked immediately.
+func (f *Fuse) RegisterFailureHandler(h Handler, id GroupID) {
+	if h == nil {
+		return
+	}
+	if _, isRoot := f.roots[id]; !isRoot {
+		if _, isMember := f.members[id]; !isMember {
+			if _, inCreate := f.creating[id]; !inCreate {
+				f.env.After(0, func() { f.deliverNotice(h, Notice{ID: id, Reason: ReasonNotified}) })
+				return
+			}
+		}
+	}
+	f.handlers[id] = append(f.handlers[id], h)
+}
+
+// SignalFailure explicitly triggers a failure notification for id
+// (Figure 1). The local handler fires, the root is informed with a
+// HardNotification, and the root fans the notification to all members.
+func (f *Fuse) SignalFailure(id GroupID) {
+	if rs, ok := f.roots[id]; ok {
+		f.rootFail(rs, ReasonSignaled)
+		return
+	}
+	if _, ok := f.members[id]; ok {
+		f.env.Send(id.Root.Addr, msgHardNotification{ID: id, From: f.self})
+		f.notifyLocal(id, ReasonSignaled)
+		f.teardown(id)
+		return
+	}
+	// Unknown group: nothing to do; a registration after this will fire
+	// immediately since no state exists.
+}
+
+func (f *Fuse) logf(format string, args ...any) {
+	f.env.Logf("fuse %s: %s", f.self.Name, fmt.Sprintf(format, args...))
+}
+
+// notifyLocal invokes and clears all handlers for id, exactly once.
+func (f *Fuse) notifyLocal(id GroupID, reason Reason) {
+	hs := f.handlers[id]
+	delete(f.handlers, id)
+	if len(hs) == 0 {
+		return
+	}
+	n := Notice{ID: id, Reason: reason}
+	for _, h := range hs {
+		f.deliverNotice(h, n)
+	}
+}
+
+func (f *Fuse) deliverNotice(h Handler, n Notice) {
+	f.notified++
+	h(n)
+}
+
+// teardown removes every piece of state for id and stops its timers.
+func (f *Fuse) teardown(id GroupID) {
+	if c, ok := f.creating[id]; ok {
+		stopTimer(c.timer)
+		delete(f.creating, id)
+	}
+	if rs, ok := f.roots[id]; ok {
+		stopTimer(rs.installTimer)
+		stopTimer(rs.repairTimer)
+		stopTimer(rs.backoffTimer)
+		delete(f.roots, id)
+	}
+	if ms, ok := f.members[id]; ok {
+		stopTimer(ms.repairTimer)
+		delete(f.members, id)
+	}
+	f.dropChecking(id)
+	f.forget(id)
+}
+
+// dropChecking removes only the liveness-checking tree state for id.
+func (f *Fuse) dropChecking(id GroupID) {
+	cs, ok := f.checking[id]
+	if !ok {
+		return
+	}
+	for _, l := range cs.links {
+		stopTimer(l.timer) // order-independent: no sends, no rng
+	}
+	delete(f.checking, id)
+}
+
+func stopTimer(t transport.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}

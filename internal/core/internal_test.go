@@ -1,0 +1,362 @@
+package core
+
+// White-box unit tests for protocol internals that the integration suite
+// (fuse_test.go, package core_test) cannot reach directly: the piggyback
+// hash, sequence-number guards, backoff arithmetic, and teardown
+// bookkeeping. They run the FUSE layer over a minimal fake Env with a
+// manually advanced clock.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// fakeEnv is a hand-cranked Env: sends are recorded, timers fire only
+// when the test advances the clock.
+type fakeEnv struct {
+	addr   transport.Addr
+	now    time.Time
+	rng    *rand.Rand
+	sent   []fakeSend
+	timers []*fakeTimer
+}
+
+type fakeSend struct {
+	to  transport.Addr
+	msg any
+}
+
+type fakeTimer struct {
+	at      time.Time
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+func newFakeEnv(addr transport.Addr) *fakeEnv {
+	return &fakeEnv{addr: addr, now: time.Unix(1000, 0), rng: rand.New(rand.NewSource(1))}
+}
+
+func (e *fakeEnv) Addr() transport.Addr { return e.addr }
+func (e *fakeEnv) Now() time.Time       { return e.now }
+func (e *fakeEnv) Rand() *rand.Rand     { return e.rng }
+func (e *fakeEnv) Logf(string, ...any)  {}
+
+func (e *fakeEnv) Send(to transport.Addr, msg any) {
+	e.sent = append(e.sent, fakeSend{to: to, msg: msg})
+}
+
+func (e *fakeEnv) After(d time.Duration, fn func()) transport.Timer {
+	t := &fakeTimer{at: e.now.Add(d), fn: fn}
+	e.timers = append(e.timers, t)
+	return t
+}
+
+// advance moves the clock and fires due timers in scheduling order.
+func (e *fakeEnv) advance(d time.Duration) {
+	e.now = e.now.Add(d)
+	for _, t := range e.timers {
+		if !t.stopped && !t.fired && !t.at.After(e.now) {
+			t.fired = true
+			t.fn()
+		}
+	}
+}
+
+func (e *fakeEnv) sentTo(addr transport.Addr) []any {
+	var out []any
+	for _, s := range e.sent {
+		if s.to == addr {
+			out = append(out, s.msg)
+		}
+	}
+	return out
+}
+
+// newFakeFuse builds a FUSE layer on an isolated (neighborless) overlay
+// node.
+func newFakeFuse(name string) (*Fuse, *fakeEnv) {
+	env := newFakeEnv(transport.Addr("addr-" + name))
+	ov := overlay.New(env, overlay.DefaultConfig(), name)
+	f := New(env, ov, DefaultConfig())
+	return f, env
+}
+
+func ref(name string) overlay.NodeRef {
+	return overlay.NodeRef{Name: name, Addr: transport.Addr("addr-" + name)}
+}
+
+func TestHashGroupIDsEmptyIsNil(t *testing.T) {
+	if h := hashGroupIDs(nil); h != nil {
+		t.Fatalf("empty hash = %x, want nil (idle links carry no payload)", h)
+	}
+}
+
+func TestHashGroupIDsIsTwentyBytes(t *testing.T) {
+	ids := []GroupID{{Root: ref("a"), Num: 1}}
+	if h := hashGroupIDs(ids); len(h) != 20 {
+		t.Fatalf("hash length %d, want 20 (the paper's piggyback size)", len(h))
+	}
+}
+
+// Property: the hash is a pure function of the ID multiset and
+// distinguishes different sets.
+func TestHashGroupIDsProperty(t *testing.T) {
+	prop := func(n1, n2 uint64) bool {
+		a := []GroupID{{Root: ref("r"), Num: n1}, {Root: ref("r"), Num: n2}}
+		b := []GroupID{{Root: ref("r"), Num: n1}, {Root: ref("r"), Num: n2}}
+		same := string(hashGroupIDs(a)) == string(hashGroupIDs(b))
+		if !same {
+			return false
+		}
+		if n1 != n2 {
+			c := []GroupID{{Root: ref("r"), Num: n1}, {Root: ref("r"), Num: n1}}
+			if string(hashGroupIDs(a)) == string(hashGroupIDs(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairBackoffDoublesAndCaps(t *testing.T) {
+	f, env := newFakeFuse("root")
+	rs := &rootState{
+		id:      GroupID{Root: f.self, Num: 1},
+		members: []overlay.NodeRef{ref("m1")},
+		backoff: f.cfg.RepairBackoffInitial,
+	}
+	f.roots[rs.id] = rs
+
+	want := f.cfg.RepairBackoffInitial
+	for i := 0; i < 8; i++ {
+		f.startRepair(rs)
+		want *= 2
+		if want > f.cfg.RepairBackoffCap {
+			want = f.cfg.RepairBackoffCap
+		}
+		if rs.backoff != want {
+			t.Fatalf("attempt %d: backoff = %v, want %v", i, rs.backoff, want)
+		}
+		// Clear the in-flight attempt so the next one is allowed, and
+		// move past the backoff window.
+		rs.repairPending = nil
+		env.advance(f.cfg.RepairBackoffCap + time.Second)
+	}
+	if rs.backoff != f.cfg.RepairBackoffCap {
+		t.Fatalf("backoff %v never capped at %v", rs.backoff, f.cfg.RepairBackoffCap)
+	}
+}
+
+func TestScheduleRepairHonorsBackoffWindow(t *testing.T) {
+	f, env := newFakeFuse("root")
+	rs := &rootState{
+		id:      GroupID{Root: f.self, Num: 2},
+		members: []overlay.NodeRef{ref("m1")},
+		backoff: f.cfg.RepairBackoffInitial,
+	}
+	f.roots[rs.id] = rs
+	f.startRepair(rs)
+	first := len(env.sentTo(ref("m1").Addr))
+	if first == 0 {
+		t.Fatal("no repair request sent")
+	}
+	rs.repairPending = nil
+	// Immediately re-scheduling must defer: the backoff window is open.
+	f.scheduleRepair(rs)
+	if got := len(env.sentTo(ref("m1").Addr)); got != first {
+		t.Fatalf("repair ran inside the backoff window (%d -> %d sends)", first, got)
+	}
+	if rs.backoffTimer == nil {
+		t.Fatal("no deferred repair scheduled")
+	}
+	env.advance(f.cfg.RepairBackoffCap + time.Second)
+	if got := len(env.sentTo(ref("m1").Addr)); got <= first {
+		t.Fatal("deferred repair never ran after the window")
+	}
+}
+
+func TestStaleSoftNotificationDiscarded(t *testing.T) {
+	f, _ := newFakeFuse("d")
+	id := GroupID{Root: ref("r"), Num: 3}
+	f.addTreeLink(id, 5, ref("n1"))
+	f.addTreeLink(id, 5, ref("n2"))
+	// A soft from a previous generation must not tear the tree down.
+	f.handleSoft(msgSoftNotification{ID: id, Seq: 4, From: ref("n1")})
+	if _, ok := f.checking[id]; !ok {
+		t.Fatal("stale soft notification tore down current-generation state")
+	}
+	// A current-generation soft does.
+	f.handleSoft(msgSoftNotification{ID: id, Seq: 5, From: ref("n1")})
+	if _, ok := f.checking[id]; ok {
+		t.Fatal("current soft notification ignored")
+	}
+}
+
+func TestSoftNotificationForwardsToOtherLinksOnly(t *testing.T) {
+	f, env := newFakeFuse("d")
+	id := GroupID{Root: ref("r"), Num: 4}
+	f.addTreeLink(id, 0, ref("up"))
+	f.addTreeLink(id, 0, ref("down"))
+	f.handleSoft(msgSoftNotification{ID: id, Seq: 0, From: ref("up")})
+	if got := env.sentTo(ref("up").Addr); len(got) != 0 {
+		t.Fatalf("soft echoed back to its sender: %v", got)
+	}
+	fwd := env.sentTo(ref("down").Addr)
+	if len(fwd) != 1 {
+		t.Fatalf("forwarded %d messages to the other link, want 1", len(fwd))
+	}
+	if _, ok := fwd[0].(msgSoftNotification); !ok {
+		t.Fatalf("forwarded %T, want msgSoftNotification", fwd[0])
+	}
+}
+
+func TestReconciliationGracePeriodProtectsFreshLinks(t *testing.T) {
+	f, env := newFakeFuse("d")
+	id := GroupID{Root: ref("r"), Num: 5}
+	f.addTreeLink(id, 0, ref("peer"))
+	// The peer's list does not mention the group, but the link is
+	// younger than the grace period: state must survive.
+	f.handleGroupLists(msgGroupLists{From: ref("peer"), IsReply: true})
+	if _, ok := f.checking[id]; !ok {
+		t.Fatal("grace period did not protect a fresh link")
+	}
+	// Past the grace period the same disagreement kills the link.
+	env.advance(f.cfg.GracePeriod + time.Second)
+	f.handleGroupLists(msgGroupLists{From: ref("peer"), IsReply: true})
+	if _, ok := f.checking[id]; ok {
+		t.Fatal("reconciliation did not fail a disagreed link after grace")
+	}
+}
+
+func TestReconciliationAgreementResetsTimers(t *testing.T) {
+	f, env := newFakeFuse("d")
+	id := GroupID{Root: ref("r"), Num: 6}
+	f.addTreeLink(id, 2, ref("peer"))
+	env.advance(f.cfg.GracePeriod + time.Second)
+	f.handleGroupLists(msgGroupLists{
+		From:    ref("peer"),
+		Entries: []listEntry{{ID: id, Seq: 2}},
+		IsReply: true,
+	})
+	if _, ok := f.checking[id]; !ok {
+		t.Fatal("agreed link was dropped")
+	}
+	// And a non-reply triggers exactly one reply back.
+	f.handleGroupLists(msgGroupLists{
+		From:    ref("peer"),
+		Entries: []listEntry{{ID: id, Seq: 2}},
+		IsReply: false,
+	})
+	replies := 0
+	for _, m := range env.sentTo(ref("peer").Addr) {
+		if gl, ok := m.(msgGroupLists); ok && gl.IsReply {
+			replies++
+		}
+	}
+	if replies != 1 {
+		t.Fatalf("%d reconciliation replies, want 1 (no ping-pong)", replies)
+	}
+}
+
+func TestTeardownStopsEveryTimer(t *testing.T) {
+	f, env := newFakeFuse("n")
+	id := GroupID{Root: ref("r"), Num: 7}
+	f.members[id] = &memberState{id: id, root: ref("r")}
+	f.addTreeLink(id, 0, ref("a"))
+	f.addTreeLink(id, 0, ref("b"))
+	f.memberNeedsRepair(f.members[id])
+	f.teardown(id)
+	if f.HasState(id) {
+		t.Fatal("state survives teardown")
+	}
+	live := 0
+	for _, tm := range env.timers {
+		if !tm.stopped && !tm.fired {
+			live++
+		}
+	}
+	if live != 0 {
+		t.Fatalf("%d timers still pending after teardown", live)
+	}
+}
+
+func TestLiveGroupsDeduplicatesRoles(t *testing.T) {
+	f, _ := newFakeFuse("n")
+	id := GroupID{Root: f.self, Num: 8}
+	f.roots[id] = &rootState{id: id}
+	f.addTreeLink(id, 0, ref("a"))
+	if got := f.LiveGroups(); len(got) != 1 {
+		t.Fatalf("LiveGroups = %v, want one entry", got)
+	}
+}
+
+func TestSignalFailureOnUnknownGroupIsNoop(t *testing.T) {
+	f, env := newFakeFuse("n")
+	f.SignalFailure(GroupID{Root: ref("r"), Num: 9})
+	if len(env.sent) != 0 {
+		t.Fatalf("unknown-group signal sent %v", env.sent)
+	}
+}
+
+func TestMemberRepairTimerNotExtendedByRepeatedFailures(t *testing.T) {
+	f, env := newFakeFuse("m")
+	id := GroupID{Root: ref("r"), Num: 10}
+	ms := &memberState{id: id, root: ref("r")}
+	f.members[id] = ms
+	f.memberNeedsRepair(ms)
+	first := ms.repairTimer
+	env.advance(f.cfg.MemberRepairTimeout / 2)
+	f.memberNeedsRepair(ms) // second local failure: must not re-arm
+	if ms.repairTimer != first {
+		t.Fatal("repeated failure extended the member's deadline")
+	}
+	env.advance(f.cfg.MemberRepairTimeout/2 + time.Second)
+	if f.HasState(id) {
+		t.Fatal("member never concluded failure")
+	}
+	if f.Notified() != 0 {
+		// no handler registered, so no local invocation counted
+		t.Fatalf("notified = %d", f.Notified())
+	}
+}
+
+func TestGroupIDStringAndZero(t *testing.T) {
+	var zero GroupID
+	if !zero.IsZero() {
+		t.Fatal("zero not zero")
+	}
+	id := GroupID{Root: ref("r"), Num: 0xbeef}
+	if id.IsZero() {
+		t.Fatal("non-zero reported zero")
+	}
+	if id.String() != "r/beef" {
+		t.Fatalf("String = %q", id.String())
+	}
+}
+
+func TestConfigScale(t *testing.T) {
+	c := DefaultConfig().Scale(0.5)
+	if c.MemberRepairTimeout != 30*time.Second {
+		t.Fatalf("scaled member timeout = %v", c.MemberRepairTimeout)
+	}
+	if c.RootRepairTimeout != time.Minute {
+		t.Fatalf("scaled root timeout = %v", c.RootRepairTimeout)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// Wire messages, named as in §6 of the paper.
+
+// msgGroupCreateRequest is sent directly from the root to every member.
+type msgGroupCreateRequest struct {
+	ID      GroupID
+	Members []overlay.NodeRef
+}
+
+// msgGroupCreateReply is the member's direct answer.
+type msgGroupCreateReply struct {
+	ID     GroupID
+	Member overlay.NodeRef
+}
+
+// msgInstallChecking is routed through the overlay from a member toward
+// the root, installing delegate timers at every hop.
+type msgInstallChecking struct {
+	ID     GroupID
+	Seq    uint64
+	Member overlay.NodeRef
+}
+
+// msgSoftNotification spreads through the liveness-checking tree when a
+// link fails; it cleans up delegate state and prompts members and the root
+// to repair. It never reaches the application.
+type msgSoftNotification struct {
+	ID   GroupID
+	Seq  uint64
+	From overlay.NodeRef
+}
+
+// msgHardNotification is the application-visible failure notification,
+// fanned member -> root -> members over direct connections.
+type msgHardNotification struct {
+	ID   GroupID
+	From overlay.NodeRef
+}
+
+// msgNeedRepair is a member's direct request that the root rebuild the
+// checking tree.
+type msgNeedRepair struct {
+	ID     GroupID
+	Seq    uint64
+	Member overlay.NodeRef
+}
+
+// msgGroupRepairRequest is the root's direct probe to each member during
+// repair; it carries the incremented sequence number.
+type msgGroupRepairRequest struct {
+	ID  GroupID
+	Seq uint64
+}
+
+// msgGroupRepairReply is the member's direct answer to a repair request.
+type msgGroupRepairReply struct {
+	ID     GroupID
+	Seq    uint64
+	Member overlay.NodeRef
+}
+
+// msgGroupLists reconciles two neighbors' views of which groups they
+// jointly monitor after a piggyback hash mismatch.
+type msgGroupLists struct {
+	From    overlay.NodeRef
+	Entries []listEntry
+	IsReply bool
+}
+
+type listEntry struct {
+	ID  GroupID
+	Seq uint64
+}
+
+func init() {
+	transport.RegisterPayload(msgGroupCreateRequest{})
+	transport.RegisterPayload(msgGroupCreateReply{})
+	transport.RegisterPayload(msgInstallChecking{})
+	transport.RegisterPayload(msgSoftNotification{})
+	transport.RegisterPayload(msgHardNotification{})
+	transport.RegisterPayload(msgNeedRepair{})
+	transport.RegisterPayload(msgGroupRepairRequest{})
+	transport.RegisterPayload(msgGroupRepairReply{})
+	transport.RegisterPayload(msgGroupLists{})
+}
+
+// Handle dispatches a direct (non-overlay-routed) message to the FUSE
+// layer, returning false if the message belongs to another protocol.
+func (f *Fuse) Handle(from transport.Addr, msg any) bool {
+	switch m := msg.(type) {
+	case msgGroupCreateRequest:
+		f.handleCreateRequest(m)
+	case msgGroupCreateReply:
+		f.handleCreateReply(m)
+	case msgSoftNotification:
+		f.handleSoft(m)
+	case msgHardNotification:
+		f.handleHard(m)
+	case msgNeedRepair:
+		f.handleNeedRepair(m)
+	case msgGroupRepairRequest:
+		f.handleRepairRequest(m)
+	case msgGroupRepairReply:
+		f.handleRepairReply(m)
+	case msgGroupLists:
+		f.handleGroupLists(m)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"fuse/internal/cluster"
+	"fuse/internal/core"
+	"fuse/internal/overlay"
+)
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := core.NewMemStore()
+	rec := core.GroupRecord{
+		ID:  core.GroupID{Root: overlay.NodeRef{Name: "r", Addr: "a"}, Num: 7},
+		Seq: 3,
+	}
+	if err := s.SaveGroup(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveGroup(rec); err != nil {
+		t.Fatal(err) // duplicate save is fine
+	}
+	got, err := s.LoadGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != rec.ID || got[0].Seq != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if err := s.DeleteGroup(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteGroup(rec.ID); err != nil {
+		t.Fatal(err) // deleting absent record is fine
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d after delete", s.Len())
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := core.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := overlay.NodeRef{Name: "root.example/org", Addr: "addr:1"} // odd chars get sanitized
+	recs := []core.GroupRecord{
+		{ID: core.GroupID{Root: root, Num: 1}, Seq: 5},
+		{ID: core.GroupID{Root: root, Num: 2}, Seq: 0, IsRoot: true,
+			Members: []overlay.NodeRef{{Name: "m", Addr: "addr:2"}}},
+	}
+	for _, r := range recs {
+		if err := s.SaveGroup(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second store over the same directory sees the records (process
+	// restart).
+	s2, err := core.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.LoadGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(got))
+	}
+	if !got[1].IsRoot || len(got[1].Members) != 1 || got[1].Members[0].Name != "m" {
+		t.Fatalf("root record mangled: %+v", got[1])
+	}
+	if err := s2.DeleteGroup(recs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s2.LoadGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("after delete: %d records", len(got))
+	}
+}
+
+// TestPersistenceMasksBriefMemberCrash is the §3.6 claim end to end: a
+// member with stable storage crashes and recovers quickly; the group
+// survives without any failure notification.
+func TestPersistenceMasksBriefMemberCrash(t *testing.T) {
+	c := cluster.New(cluster.Options{N: 32, Seed: 21})
+	store := core.NewMemStore()
+	c.AttachStore(10, store)
+
+	id, err := c.CreateGroup(0, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d records after create, want 1", store.Len())
+	}
+	notices := 0
+	for _, i := range []int{0, 20} {
+		c.Nodes[i].Fuse.RegisterFailureHandler(func(core.Notice) { notices++ }, id)
+	}
+
+	// Brief crash: down for a few seconds, well under the ping cycle.
+	c.Crash(10)
+	c.Sim.RunFor(5 * time.Second)
+	n, err := c.RestartWithStore(10, c.Nodes[0].Ref(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Fuse.HasState(id) {
+		t.Fatal("recovered node did not resume the group")
+	}
+
+	// Run long enough that any failure path would have fired (detection
+	// + repair timeouts), then verify the group is alive everywhere.
+	c.Sim.RunFor(15 * time.Minute)
+	if notices != 0 {
+		t.Fatalf("brief crash was not masked: %d notifications", notices)
+	}
+	for _, i := range []int{0, 10, 20} {
+		if !c.Nodes[i].Fuse.HasState(id) {
+			t.Fatalf("node %d lost the group", i)
+		}
+	}
+
+	// The group is still fully functional: an explicit signal reaches
+	// everyone, including the recovered member.
+	recovered := 0
+	c.Nodes[10].Fuse.RegisterFailureHandler(func(core.Notice) { recovered++ }, id)
+	c.Nodes[20].Fuse.SignalFailure(id)
+	c.Sim.RunFor(time.Minute)
+	if notices != 2 || recovered != 1 {
+		t.Fatalf("post-recovery signal: others=%d recovered=%d", notices, recovered)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store holds %d records after notification, want 0", store.Len())
+	}
+}
+
+// TestPersistentRootResumesGroup covers the root role: a root with stable
+// storage recovers and keeps its group alive.
+func TestPersistentRootResumesGroup(t *testing.T) {
+	c := cluster.New(cluster.Options{N: 32, Seed: 22})
+	store := core.NewMemStore()
+	c.AttachStore(0, store)
+	id, err := c.CreateGroup(0, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notices := 0
+	for _, i := range []int{8, 16} {
+		c.Nodes[i].Fuse.RegisterFailureHandler(func(core.Notice) { notices++ }, id)
+	}
+	c.Crash(0)
+	c.Sim.RunFor(5 * time.Second)
+	if _, err := c.RestartWithStore(0, c.Nodes[1].Ref(), store); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunFor(15 * time.Minute)
+	if notices != 0 {
+		t.Fatalf("root recovery not masked: %d notifications", notices)
+	}
+	for _, i := range []int{0, 8, 16} {
+		if !c.Nodes[i].Fuse.HasState(id) {
+			t.Fatalf("node %d lost the group", i)
+		}
+	}
+}
+
+// TestRecoveryOfDeadGroupResolvesToNotification: if the group failed
+// while the persistent node was down, recovery must converge on failure,
+// not resurrect the group.
+func TestRecoveryOfDeadGroupResolvesToNotification(t *testing.T) {
+	c := cluster.New(cluster.Options{N: 32, Seed: 23})
+	store := core.NewMemStore()
+	c.AttachStore(10, store)
+	id, err := c.CreateGroup(0, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(10)
+	c.Sim.RunFor(time.Second)
+	// The group fails while node 10 is down.
+	c.Nodes[20].Fuse.SignalFailure(id)
+	c.Sim.RunFor(time.Minute)
+
+	n, err := c.RestartWithStore(10, c.Nodes[0].Ref(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	n.Fuse.RegisterFailureHandler(func(core.Notice) { fired++ }, id)
+	c.Sim.RunFor(10 * time.Minute)
+	if fired != 1 {
+		t.Fatalf("recovered node notified %d times for dead group, want 1", fired)
+	}
+	if n.Fuse.HasState(id) {
+		t.Fatal("dead group resurrected")
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store still holds %d records", store.Len())
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import "time"
+
+// Group repair (§6.5): the root rebuilds the liveness-checking tree with
+// direct GroupRepairRequest messages; members answer directly and re-route
+// InstallChecking messages. Per-group exponential backoff (capped, per the
+// paper, at 40 seconds) bounds repair frequency during overlay churn.
+
+// memberNeedsRepair sends NeedRepair to the root and arms the member-side
+// failure timer. If a repair is already pending, the existing timer keeps
+// counting: the member's deadline must not be extended by repeated local
+// failures, or notification latency would be unbounded.
+func (f *Fuse) memberNeedsRepair(ms *memberState) {
+	if ms.repairTimer != nil {
+		return
+	}
+	f.env.Send(ms.root.Addr, msgNeedRepair{ID: ms.id, Seq: ms.seq, Member: f.self})
+	ms.repairTimer = f.env.After(f.cfg.MemberRepairTimeout, func() {
+		// The root never responded: conclude the group has failed
+		// (member-side guarantee). Tell the root anyway - if it is
+		// alive behind an asymmetric failure, it will fan out the
+		// notification.
+		f.logf("member repair timeout for %s", ms.id)
+		f.env.Send(ms.root.Addr, msgHardNotification{ID: ms.id, From: f.self})
+		f.notifyLocal(ms.id, ReasonRepairTimeout)
+		f.teardown(ms.id)
+	})
+}
+
+// handleNeedRepair lets a member prod the root into repairing.
+func (f *Fuse) handleNeedRepair(m msgNeedRepair) {
+	rs, ok := f.roots[m.ID]
+	if !ok {
+		// The group no longer exists here; the member must hear that as
+		// a failure.
+		f.env.Send(m.Member.Addr, msgHardNotification{ID: m.ID, From: f.self})
+		return
+	}
+	f.scheduleRepair(rs)
+}
+
+// scheduleRepair starts a repair attempt, deferring it while the per-group
+// backoff window is open and collapsing duplicate triggers.
+func (f *Fuse) scheduleRepair(rs *rootState) {
+	if rs.repairPending != nil || rs.backoffTimer != nil {
+		return // already repairing or already scheduled
+	}
+	now := f.env.Now()
+	if now.Before(rs.backoffUntil) {
+		delay := rs.backoffUntil.Sub(now)
+		rs.backoffTimer = f.env.After(delay, func() {
+			rs.backoffTimer = nil
+			f.startRepair(rs)
+		})
+		return
+	}
+	f.startRepair(rs)
+}
+
+func (f *Fuse) startRepair(rs *rootState) {
+	if _, live := f.roots[rs.id]; !live || rs.repairPending != nil {
+		return
+	}
+	if len(rs.members) == 0 {
+		return // singleton group: nothing to repair
+	}
+	// Advance the generation: stale soft notifications and installs from
+	// the previous tree no longer count.
+	rs.seq++
+	f.saveRoot(rs)
+	f.logf("repair %s seq=%d", rs.id, rs.seq)
+
+	// Update the backoff window for the *next* attempt.
+	if rs.backoff < f.cfg.RepairBackoffInitial {
+		rs.backoff = f.cfg.RepairBackoffInitial
+	}
+	rs.backoffUntil = f.env.Now().Add(rs.backoff)
+	rs.backoff *= 2
+	if rs.backoff > f.cfg.RepairBackoffCap {
+		rs.backoff = f.cfg.RepairBackoffCap
+	}
+
+	rs.repairPending = make(map[string]bool, len(rs.members))
+	rs.installPending = make(map[string]bool, len(rs.members))
+	for _, m := range rs.members {
+		rs.repairPending[m.Name] = true
+		rs.installPending[m.Name] = true
+		f.env.Send(m.Addr, msgGroupRepairRequest{ID: rs.id, Seq: rs.seq})
+	}
+	stopTimer(rs.repairTimer)
+	rs.repairTimer = f.env.After(f.cfg.RootRepairTimeout, func() {
+		if len(rs.repairPending) > 0 {
+			// Some member never answered a direct request: the group
+			// has failed (root-side guarantee).
+			f.logf("root repair timeout for %s: %d members unresponsive", rs.id, len(rs.repairPending))
+			f.rootFail(rs, ReasonRepairFailed)
+		}
+	})
+}
+
+// handleRepairRequest is the member side of repair: adopt the new
+// sequence number, answer directly, and re-route InstallChecking.
+func (f *Fuse) handleRepairRequest(m msgGroupRepairRequest) {
+	ms, ok := f.members[m.ID]
+	if !ok {
+		// "If a repair message ever encounters a member that no longer
+		// has knowledge of the group, it fails and signals a
+		// HardNotification" - this guarantees repair cannot suppress a
+		// notification that already reached some members.
+		f.env.Send(m.ID.Root.Addr, msgHardNotification{ID: m.ID, From: f.self})
+		return
+	}
+	if m.Seq < ms.seq {
+		return // stale repair generation
+	}
+	ms.seq = m.Seq
+	f.saveMember(ms)
+	// The root is alive and repairing: stand down the member-side
+	// failure timer.
+	stopTimer(ms.repairTimer)
+	ms.repairTimer = nil
+
+	// Replace our old view of the tree with the new generation.
+	f.dropChecking(m.ID)
+	f.env.Send(m.ID.Root.Addr, msgGroupRepairReply{ID: m.ID, Seq: m.Seq, Member: f.self})
+	f.sendInstallChecking(m.ID, m.Seq)
+}
+
+// handleRepairReply collects members' repair acknowledgments at the root.
+func (f *Fuse) handleRepairReply(m msgGroupRepairReply) {
+	rs, ok := f.roots[m.ID]
+	if !ok || rs.repairPending == nil || m.Seq != rs.seq {
+		return
+	}
+	delete(rs.repairPending, m.Member.Name)
+	if len(rs.repairPending) > 0 {
+		return
+	}
+	// Every member answered; now wait for the InstallChecking wave.
+	rs.repairPending = nil
+	stopTimer(rs.repairTimer)
+	rs.repairTimer = nil
+	f.armInstallTimer(rs)
+}
+
+// rootFail is the root-side failure fan-out: notify the application here,
+// send HardNotifications to every member, and sweep the checking tree
+// with SoftNotifications (the proactive cleanup of Figure 4).
+func (f *Fuse) rootFail(rs *rootState, reason Reason) {
+	for _, m := range rs.members {
+		f.env.Send(m.Addr, msgHardNotification{ID: rs.id, From: f.self})
+	}
+	f.softSweep(rs.id)
+	f.notifyLocal(rs.id, reason)
+	f.teardown(rs.id)
+}
+
+// softSweep sends SoftNotifications along all current tree links to clean
+// delegate state proactively.
+func (f *Fuse) softSweep(id GroupID) {
+	cs, ok := f.checking[id]
+	if !ok {
+		return
+	}
+	seq := cs.seq + 1 // strictly newer than any installed generation
+	for _, l := range sortedLinks(cs) {
+		f.env.Send(l.neighbor.Addr, msgSoftNotification{ID: id, Seq: seq, From: f.self})
+	}
+}
+
+// handleHard delivers the application-visible notification (§6.4): the
+// root fans it to all members; every receiver fires its handler exactly
+// once and tears down group state.
+func (f *Fuse) handleHard(m msgHardNotification) {
+	if rs, ok := f.roots[m.ID]; ok {
+		for _, mem := range rs.members {
+			if mem.Addr == m.From.Addr {
+				continue // the signaller already knows
+			}
+			f.env.Send(mem.Addr, msgHardNotification{ID: m.ID, From: f.self})
+		}
+		f.softSweep(m.ID)
+		f.notifyLocal(m.ID, ReasonNotified)
+		f.teardown(m.ID)
+		return
+	}
+	if _, ok := f.members[m.ID]; ok {
+		f.notifyLocal(m.ID, ReasonNotified)
+		f.teardown(m.ID)
+		return
+	}
+	if c, ok := f.creating[m.ID]; ok {
+		// A member signalled failure while we were still creating.
+		stopTimer(c.timer)
+		delete(f.creating, m.ID)
+		for _, mem := range c.members {
+			if mem.Addr != m.From.Addr {
+				f.env.Send(mem.Addr, msgHardNotification{ID: m.ID, From: f.self})
+			}
+		}
+		f.dropChecking(m.ID)
+		c.done(GroupID{}, ErrGroupFailed)
+		return
+	}
+	// Unknown group (already notified): drop.
+}
+
+// ErrGroupFailed reports a creation aborted by a failure notification.
+var ErrGroupFailed = errGroupFailed{}
+
+type errGroupFailed struct{}
+
+func (errGroupFailed) Error() string { return "fuse: group failed during creation" }
+
+// backoffFloor exposes the current backoff for tests.
+func (rs *rootState) backoffFloor() time.Duration { return rs.backoff }

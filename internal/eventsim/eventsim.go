@@ -1,0 +1,202 @@
+// Package eventsim provides a deterministic discrete-event simulation
+// engine: a virtual clock, a pending-event queue, and cancellable timers.
+//
+// The engine is single-threaded by design. All scheduled callbacks run on
+// the goroutine that calls Run (or Step), one at a time, in deterministic
+// order: events fire in ascending virtual-time order, and events scheduled
+// for the same instant fire in the order they were scheduled. Combined with
+// a seeded random source this makes every simulation reproducible, which
+// the test suite and the experiment harness rely on.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual time at which every simulation starts. The concrete
+// value is arbitrary; using a fixed, round timestamp makes logs readable.
+var Epoch = time.Date(2004, 10, 4, 0, 0, 0, 0, time.UTC) // OSDI 2004
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	now     time.Duration // offset from Epoch
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have fired; useful for loop detection
+	// and for rough progress reporting in long experiments.
+	executed uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return Epoch.Add(s.now) }
+
+// Elapsed returns the virtual time elapsed since the simulation epoch.
+func (s *Sim) Elapsed() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have fired so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are scheduled but have not fired.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending;
+// it returns false if the callback already ran or the timer was already
+// stopped. Unlike time.Timer, Stop may be called from within any event
+// callback without risk of deadlock.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Stopped reports whether the timer has been cancelled.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.cancelled }
+
+type event struct {
+	at        time.Duration
+	seq       uint64 // tiebreak: schedule order
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+// After schedules fn to run d from now and returns a cancellable handle.
+// A negative d is treated as zero: the event fires at the current instant,
+// after any events already scheduled for that instant.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("eventsim: After called with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// At schedules fn at the absolute virtual time t. Times in the past are
+// clamped to the present.
+func (s *Sim) At(t time.Time, fn func()) *Timer {
+	return s.After(t.Sub(s.Now()), fn)
+}
+
+// Step fires the single next pending event. It reports false when the queue
+// is empty or the simulation has been stopped.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 && !s.stopped {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < s.now {
+			panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", ev.at, s.now))
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps at or before deadline, then
+// advances the clock to deadline. Events scheduled after deadline remain
+// pending, so simulations can be resumed with further RunUntil or Run calls.
+func (s *Sim) RunUntil(deadline time.Time) {
+	limit := deadline.Sub(Epoch)
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > limit {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < limit {
+		s.now = limit
+	}
+}
+
+// RunFor is RunUntil(Now().Add(d)).
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
+
+// Stop halts the simulation: no further events fire. Pending events stay
+// queued so that inspection after Stop is possible.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+func (s *Sim) peek() (time.Duration, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
+// eventQueue is a min-heap ordered by (time, schedule sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,100 @@
+// Package experiments contains one driver per table/figure in the
+// paper's evaluation (§7), plus the ablation studies DESIGN.md calls out.
+// Each driver builds a simulated deployment, runs the paper's workload,
+// and returns the same rows/series the paper reports, both as formatted
+// lines and as machine-readable metrics (which the benchmarks assert
+// against).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params scales an experiment.
+type Params struct {
+	// Nodes is the overlay size; 0 means the experiment's paper default
+	// (400 for cluster experiments).
+	Nodes int
+	// Seed drives all randomness.
+	Seed int64
+	// Short trims workload sizes and run times for use under `go test`
+	// and quick benchmarks.
+	Short bool
+	// PaperScale runs the large-simulator variants (e.g. the 16,000
+	// node overlay of §7.3) where the driver supports it.
+	PaperScale bool
+}
+
+func (p Params) nodes(def int) int {
+	if p.Nodes > 0 {
+		return p.Nodes
+	}
+	return def
+}
+
+// Result is an experiment's output.
+type Result struct {
+	Name    string
+	Header  string
+	Lines   []string
+	Metrics map[string]float64
+}
+
+func newResult(name, header string) *Result {
+	return &Result{Name: name, Header: header, Metrics: make(map[string]float64)}
+}
+
+func (r *Result) addLine(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) metric(key string, v float64) { r.Metrics[key] = v }
+
+// String renders the result like the paper's tables.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n%s\n", r.Name, r.Header)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(p Params) (*Result, error)
+
+var registry = map[string]Runner{
+	"fig6":     Fig6RPCLatency,
+	"fig7":     Fig7GroupCreation,
+	"fig8":     Fig8SignaledNotification,
+	"fig9":     Fig9CrashNotification,
+	"fig10":    Fig10Churn,
+	"fig11":    Fig11RouteLoss,
+	"fig12":    Fig12FalsePositives,
+	"steady":   SteadyStateLoad,
+	"svtree":   SVTreeGroupSizes,
+	"swimcmp":  SwimComparison,
+	"ablation": AblationTopologies,
+}
+
+// Names lists all registered experiments, sorted.
+func Names() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, p Params) (*Result, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(p)
+}

@@ -1,0 +1,138 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"fuse/internal/experiments"
+)
+
+// short runs an experiment at reduced scale and returns its metrics.
+func short(t *testing.T, name string) map[string]float64 {
+	t.Helper()
+	r, err := experiments.Run(name, experiments.Params{Seed: 1, Short: true})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(r.Lines) == 0 {
+		t.Fatalf("%s produced no output", name)
+	}
+	t.Log("\n" + r.String())
+	return r.Metrics
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := experiments.Run("nope", experiments.Params{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{"ablation", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "steady", "svtree", "swimcmp"}
+	got := experiments.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	m := short(t, "fig6")
+	// Median RTT-dominated RPC latency near the topology's calibration
+	// target (~130 ms) with a heavy tail.
+	if m["median_ms"] < 50 || m["median_ms"] > 400 {
+		t.Fatalf("median RPC = %.1f ms, want ~130", m["median_ms"])
+	}
+	if m["p90_ms"] < m["median_ms"] {
+		t.Fatal("p90 below median")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	m := short(t, "fig7")
+	// Creation latency grows with group size (more members -> higher
+	// chance of a slow path) and sits in the paper's regime (hundreds of
+	// ms to a few seconds).
+	if !(m["size32_median_ms"] >= m["size2_median_ms"]) {
+		t.Fatalf("creation latency not monotone: size2=%.0f size32=%.0f",
+			m["size2_median_ms"], m["size32_median_ms"])
+	}
+	if m["size2_median_ms"] < 20 || m["size32_median_ms"] > 10000 {
+		t.Fatalf("creation latencies out of regime: %.0f..%.0f ms",
+			m["size2_median_ms"], m["size32_median_ms"])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	m := short(t, "fig8")
+	// Notification is significantly cheaper than creation (one-way,
+	// cached paths); the paper's max was 1165 ms.
+	if m["size2_median_ms"] <= 0 {
+		t.Fatal("no size-2 latency")
+	}
+	if m["max_ms"] > 5000 {
+		t.Fatalf("max notification %.0f ms, want paper regime (<5 s)", m["max_ms"])
+	}
+}
+
+func TestFig9EveryLiveMemberNotified(t *testing.T) {
+	m := short(t, "fig9")
+	if m["notifications"] != m["expected"] {
+		t.Fatalf("notifications %v != expected %v", m["notifications"], m["expected"])
+	}
+	// The paper's distribution is dominated by ping and repair timeouts:
+	// nothing beats a ping round, everything lands within ~4 minutes.
+	if m["max_min"] > 6 {
+		t.Fatalf("max notification time %.2f min", m["max_min"])
+	}
+}
+
+func TestFig11MediansMatchPaper(t *testing.T) {
+	m := short(t, "fig11")
+	within := func(got, want, tol float64) bool { return got > want-tol && got < want+tol }
+	if !within(m["link0.4pct_median_route_loss"], 5.8, 3) {
+		t.Fatalf("0.4%% link loss -> %.1f%% route loss, paper 5.8%%", m["link0.4pct_median_route_loss"])
+	}
+	if !within(m["link0.8pct_median_route_loss"], 11.4, 5) {
+		t.Fatalf("0.8%% -> %.1f%%, paper 11.4%%", m["link0.8pct_median_route_loss"])
+	}
+	if !within(m["link1.6pct_median_route_loss"], 21.5, 8) {
+		t.Fatalf("1.6%% -> %.1f%%, paper 21.5%%", m["link1.6pct_median_route_loss"])
+	}
+}
+
+func TestSteadyStateParity(t *testing.T) {
+	m := short(t, "steady")
+	if d := m["delta_pct"]; d < -3 || d > 3 {
+		t.Fatalf("idle groups changed load by %.2f%%, want ~0", d)
+	}
+}
+
+func TestSVTreeSmallGroups(t *testing.T) {
+	m := short(t, "svtree")
+	if m["groups"] < 10 {
+		t.Fatalf("only %v groups", m["groups"])
+	}
+	if m["mean_size"] < 2 || m["mean_size"] > 7 {
+		t.Fatalf("mean group size %.2f, paper regime ~2.9", m["mean_size"])
+	}
+	if m["attached"] < m["subscribers"] {
+		t.Fatalf("only %v of %v subscribers attached", m["attached"], m["subscribers"])
+	}
+}
+
+func TestSwimComparisonContrast(t *testing.T) {
+	m := short(t, "swimcmp")
+	if m["swim_masks_intransitive"] != 1 {
+		t.Fatal("SWIM should mask the intransitive failure (indirect probes)")
+	}
+	if m["fuse_scopes_intransitive"] != 1 {
+		t.Fatal("FUSE should scope the intransitive failure to the signalled group")
+	}
+	if m["swim_detect_s"] <= 0 || m["fuse_detect_s"] <= 0 {
+		t.Fatalf("missing detection latencies: %v", m)
+	}
+}

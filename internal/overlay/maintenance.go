@@ -1,0 +1,480 @@
+package overlay
+
+import (
+	"time"
+
+	"fuse/internal/transport"
+)
+
+// Maintenance: leaf-set bookkeeping, neighbor liveness pings with client
+// piggyback, failure detection, and routing-table repair (leaf refill and
+// ring-neighbor searches).
+
+// considerLeaf offers ref as a leaf-set candidate, splicing it into the
+// clockwise and counterclockwise leaf sets if it is among the closest
+// known nodes. It reports whether any table changed.
+func (n *Node) considerLeaf(ref NodeRef) bool {
+	if ref.IsZero() || ref.Name == n.self.Name {
+		return false
+	}
+	changed := false
+	if insertSorted(&n.leafR, ref, n.cfg.LeafSize/2, func(a, b NodeRef) bool {
+		return cwDist(n.self.Name, a.Name, b.Name) < 0
+	}) {
+		changed = true
+	}
+	if insertSorted(&n.leafL, ref, n.cfg.LeafSize/2, func(a, b NodeRef) bool {
+		// Counterclockwise closeness is the reverse clockwise order.
+		return cwDist(n.self.Name, a.Name, b.Name) > 0
+	}) {
+		changed = true
+	}
+	if changed {
+		n.syncPings()
+	}
+	return changed
+}
+
+// insertSorted splices ref into the slice ordered by less, keeping at most
+// max entries and rejecting duplicates. It reports whether the slice
+// changed.
+func insertSorted(s *[]NodeRef, ref NodeRef, max int, less func(a, b NodeRef) bool) bool {
+	for _, e := range *s {
+		if e.Name == ref.Name {
+			return false
+		}
+	}
+	pos := len(*s)
+	for i, e := range *s {
+		if less(ref, e) {
+			pos = i
+			break
+		}
+	}
+	if pos >= max {
+		return false
+	}
+	*s = append(*s, NodeRef{})
+	copy((*s)[pos+1:], (*s)[pos:])
+	(*s)[pos] = ref
+	if len(*s) > max {
+		*s = (*s)[:max]
+	}
+	return true
+}
+
+// removeRef deletes the node with the given address from every table. It
+// reports whether anything was removed.
+func (n *Node) removeRef(addr transport.Addr) bool {
+	removed := false
+	filter := func(s []NodeRef) []NodeRef {
+		out := s[:0]
+		for _, e := range s {
+			if e.Addr == addr {
+				removed = true
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	n.leafR = filter(n.leafR)
+	n.leafL = filter(n.leafL)
+	for h := 1; h <= n.cfg.MaxLevels; h++ {
+		if n.rights[h].Addr == addr {
+			n.rights[h] = NodeRef{}
+			removed = true
+		}
+		if n.lefts[h].Addr == addr {
+			n.lefts[h] = NodeRef{}
+			removed = true
+		}
+	}
+	return removed
+}
+
+// --- liveness pings ---
+
+type pingState struct {
+	ref     NodeRef
+	seq     uint64
+	sendT   transport.Timer
+	timeout transport.Timer
+}
+
+func (ps *pingState) stopTimers() {
+	if ps.sendT != nil {
+		ps.sendT.Stop()
+	}
+	if ps.timeout != nil {
+		ps.timeout.Stop()
+	}
+}
+
+// syncPings reconciles the ping schedule with the current neighbor set:
+// new neighbors get a staggered first ping, departed ones stop being
+// pinged.
+func (n *Node) syncPings() {
+	if n.stopped {
+		return
+	}
+	// Iterate the (deterministically ordered) neighbor list, not a map:
+	// the random ping phases drawn below must be consumed in a stable
+	// order or identically seeded runs diverge.
+	neighbors := n.Neighbors()
+	want := make(map[transport.Addr]bool, len(neighbors))
+	for _, r := range neighbors {
+		want[r.Addr] = true
+	}
+	for addr, ps := range n.pings {
+		if !want[addr] {
+			ps.stopTimers()
+			delete(n.pings, addr)
+		}
+	}
+	for _, ref := range neighbors {
+		if _, ok := n.pings[ref.Addr]; ok {
+			continue
+		}
+		ps := &pingState{ref: ref}
+		n.pings[ref.Addr] = ps
+		// Stagger first pings uniformly over the interval so a large
+		// overlay's background load is smooth, as a deployed system's
+		// would be.
+		phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.PingInterval) + 1))
+		ps.sendT = n.env.After(phase, func() { n.sendPing(ps) })
+	}
+}
+
+func (n *Node) sendPing(ps *pingState) {
+	if n.stopped || n.pings[ps.ref.Addr] != ps {
+		return
+	}
+	ps.seq++
+	seq := ps.seq
+	payload := n.client.PingPayload(ps.ref)
+	n.env.Send(ps.ref.Addr, msgPing{From: n.self, Seq: seq, Payload: payload})
+	if ps.timeout != nil {
+		ps.timeout.Stop()
+	}
+	ps.timeout = n.env.After(n.cfg.PingTimeout, func() {
+		n.neighborDead(ps.ref)
+	})
+	ps.sendT = n.env.After(n.cfg.PingInterval, func() { n.sendPing(ps) })
+}
+
+func (n *Node) handlePing(m msgPing) {
+	n.client.OnPingPayload(m.From, m.Payload)
+	n.env.Send(m.From.Addr, msgPingAck{From: n.self, Seq: m.Seq})
+}
+
+func (n *Node) handlePingAck(m msgPingAck) {
+	ps, ok := n.pings[m.From.Addr]
+	if !ok || m.Seq != ps.seq {
+		return
+	}
+	if ps.timeout != nil {
+		ps.timeout.Stop()
+		ps.timeout = nil
+	}
+}
+
+// neighborDead handles a failed liveness check: report to the client,
+// remove the neighbor from the tables, and repair the holes it left.
+func (n *Node) neighborDead(ref NodeRef) {
+	if n.stopped {
+		return
+	}
+	if _, ok := n.pings[ref.Addr]; !ok {
+		return
+	}
+	n.logf("neighbor %s dead", ref.Name)
+	n.client.OnNeighborDown(ref)
+
+	// Remember which ring levels pointed at the dead node before
+	// removal so repair can target them.
+	var needRight, needLeft []int
+	for h := 1; h <= n.cfg.MaxLevels; h++ {
+		if n.rights[h].Addr == ref.Addr {
+			needRight = append(needRight, h)
+		}
+		if n.lefts[h].Addr == ref.Addr {
+			needLeft = append(needLeft, h)
+		}
+	}
+	n.removeRef(ref.Addr)
+	n.syncPings()
+
+	// Leaf refill: any deficit prompts one request to the farthest
+	// surviving leaf (who knows nodes beyond our horizon). This is
+	// event-driven - one message per detected death - so it cannot
+	// storm, and it keeps table density from decaying under churn.
+	half := n.cfg.LeafSize / 2
+	if len(n.leafR) < half || len(n.leafL) < half {
+		if peer, ok := n.leafRefillPeer(); ok {
+			n.env.Send(peer.Addr, msgLeafRequest{From: n.self})
+		}
+	}
+	for _, h := range needRight {
+		n.startRingSearch(h, true)
+	}
+	for _, h := range needLeft {
+		n.startRingSearch(h, false)
+	}
+}
+
+func (n *Node) leafRefillPeer() (NodeRef, bool) {
+	if len(n.leafR) > 0 {
+		return n.leafR[len(n.leafR)-1], true
+	}
+	if len(n.leafL) > 0 {
+		return n.leafL[len(n.leafL)-1], true
+	}
+	for h := 1; h <= n.cfg.MaxLevels; h++ {
+		if !n.rights[h].IsZero() {
+			return n.rights[h], true
+		}
+		if !n.lefts[h].IsZero() {
+			return n.lefts[h], true
+		}
+	}
+	return NodeRef{}, false
+}
+
+func (n *Node) handleLeafRequest(m msgLeafRequest) {
+	n.considerLeaf(m.From)
+	n.env.Send(m.From.Addr, msgLeafReply{
+		From:  n.self,
+		LeafR: append([]NodeRef(nil), n.leafR...),
+		LeafL: append([]NodeRef(nil), n.leafL...),
+	})
+}
+
+func (n *Node) handleLeafReply(m msgLeafReply) {
+	n.considerLeaf(m.From)
+	for _, r := range m.LeafR {
+		n.considerLeaf(r)
+	}
+	for _, r := range m.LeafL {
+		n.considerLeaf(r)
+	}
+}
+
+func (n *Node) handleLevel0Insert(m msgLevel0Insert) {
+	if n.considerLeaf(m.Node) {
+		// Share our view so the newcomer discovers its neighborhood.
+		n.env.Send(m.Node.Addr, msgLeafReply{
+			From:  n.self,
+			LeafR: append([]NodeRef(nil), n.leafR...),
+			LeafL: append([]NodeRef(nil), n.leafL...),
+		})
+	}
+}
+
+// --- ring-neighbor search & repair ---
+
+// startRingSearch walks the level-1 below ring looking for this node's
+// nearest neighbor in the level ring (sharing `level` numeric-ID digits).
+func (n *Node) startRingSearch(level int, right bool) {
+	if level < 1 || level > n.cfg.MaxLevels {
+		return
+	}
+	key := searchKey{level: level, right: right}
+	if n.searches[key] {
+		return
+	}
+	start := n.walkNeighbor(level-1, right)
+	if start.IsZero() {
+		return
+	}
+	n.searches[key] = true
+	// Allow a retry eventually even if the search dies silently.
+	n.env.After(n.cfg.PingInterval, func() { delete(n.searches, key) })
+	n.env.Send(start.Addr, msgRingSearch{
+		Origin:   n.self,
+		MatchLen: level,
+		WalkLeft: !right,
+		HopsLeft: n.cfg.RingSearchMax,
+	})
+}
+
+// walkNeighbor returns this node's neighbor at walkLevel in the walk
+// direction (right = clockwise).
+func (n *Node) walkNeighbor(walkLevel int, right bool) NodeRef {
+	if walkLevel <= 0 {
+		if right {
+			return n.Successor()
+		}
+		return n.Predecessor()
+	}
+	if right {
+		return n.rights[walkLevel]
+	}
+	return n.lefts[walkLevel]
+}
+
+func (n *Node) handleRingSearch(m msgRingSearch) {
+	if m.Origin.Name == n.self.Name {
+		return // walked the full circle
+	}
+	originDigits := DigitsOf(m.Origin.Name, n.cfg.Base, n.cfg.MaxLevels)
+	if SharedPrefix(n.digits, originDigits) >= m.MatchLen {
+		n.env.Send(m.Origin.Addr, msgRingFound{
+			Node:     n.self,
+			MatchLen: m.MatchLen,
+			WalkLeft: m.WalkLeft,
+		})
+		return
+	}
+	if m.HopsLeft <= 1 {
+		return
+	}
+	next := n.walkNeighbor(m.MatchLen-1, !m.WalkLeft)
+	if next.IsZero() {
+		return
+	}
+	m.HopsLeft--
+	n.env.Send(next.Addr, m)
+}
+
+func (n *Node) handleRingFound(m msgRingFound) {
+	level := m.MatchLen
+	if level < 1 || level > n.cfg.MaxLevels {
+		return
+	}
+	delete(n.searches, searchKey{level: level, right: !m.WalkLeft})
+	cand := m.Node
+	if cand.Name == n.self.Name {
+		return
+	}
+	candDigits := DigitsOf(cand.Name, n.cfg.Base, n.cfg.MaxLevels)
+	if SharedPrefix(n.digits, candDigits) < level {
+		return
+	}
+	if m.WalkLeft {
+		n.adoptRingNeighbor(level, cand, false)
+		// We are cand's nearest clockwise ring member: become its right.
+		n.env.Send(cand.Addr, msgRingInsert{Node: n.self, Level: level, AsLeft: false})
+	} else {
+		n.adoptRingNeighbor(level, cand, true)
+		// We are cand's nearest counterclockwise member: become its left.
+		n.env.Send(cand.Addr, msgRingInsert{Node: n.self, Level: level, AsLeft: true})
+	}
+	// Climb: once a ring pointer at this level exists, the next level
+	// becomes searchable.
+	n.climbFrom(level)
+}
+
+// adoptRingNeighbor installs cand as the level ring neighbor if it is
+// closer than the current pointer (or the pointer is empty). It reports
+// whether the pointer changed.
+func (n *Node) adoptRingNeighbor(level int, cand NodeRef, right bool) bool {
+	var cur *NodeRef
+	if right {
+		cur = &n.rights[level]
+	} else {
+		cur = &n.lefts[level]
+	}
+	if cand.Name == n.self.Name {
+		return false
+	}
+	closer := false
+	if cur.IsZero() {
+		closer = true
+	} else if right && cwDist(n.self.Name, cand.Name, cur.Name) < 0 {
+		closer = true
+	} else if !right && cwDist(n.self.Name, cand.Name, cur.Name) > 0 {
+		closer = true
+	}
+	if !closer {
+		return false
+	}
+	*cur = cand
+	n.syncPings()
+	return true
+}
+
+func (n *Node) handleRingInsert(m msgRingInsert) {
+	level := m.Level
+	if level < 1 || level > n.cfg.MaxLevels {
+		return
+	}
+	candDigits := DigitsOf(m.Node.Name, n.cfg.Base, n.cfg.MaxLevels)
+	if SharedPrefix(n.digits, candDigits) < level {
+		return
+	}
+	var displaced NodeRef
+	if m.AsLeft {
+		displaced = n.lefts[level]
+		if !n.adoptRingNeighbor(level, m.Node, false) {
+			return
+		}
+	} else {
+		displaced = n.rights[level]
+		if !n.adoptRingNeighbor(level, m.Node, true) {
+			return
+		}
+	}
+	n.env.Send(m.Node.Addr, msgRingInsertAck{
+		From:      n.self,
+		Level:     level,
+		WasLeft:   m.AsLeft,
+		Displaced: displaced,
+	})
+	// Tell the displaced neighbor its pointer toward us now goes through
+	// the newcomer.
+	if !displaced.IsZero() && displaced.Name != m.Node.Name {
+		n.env.Send(displaced.Addr, msgSetRingNeighbor{
+			Node:  m.Node,
+			Level: level,
+			Right: m.AsLeft, // we displaced our left => their right changes
+		})
+	}
+}
+
+func (n *Node) handleRingInsertAck(m msgRingInsertAck) {
+	level := m.Level
+	if level < 1 || level > n.cfg.MaxLevels {
+		return
+	}
+	if m.WasLeft {
+		// The acker took us as its left: it is our right neighbor, and
+		// whoever it displaced is our left.
+		n.adoptRingNeighbor(level, m.From, true)
+		if !m.Displaced.IsZero() {
+			n.adoptRingNeighbor(level, m.Displaced, false)
+		}
+	} else {
+		n.adoptRingNeighbor(level, m.From, false)
+		if !m.Displaced.IsZero() {
+			n.adoptRingNeighbor(level, m.Displaced, true)
+		}
+	}
+	n.climbFrom(level)
+}
+
+func (n *Node) handleSetRingNeighbor(m msgSetRingNeighbor) {
+	if m.Level < 1 || m.Level > n.cfg.MaxLevels {
+		return
+	}
+	candDigits := DigitsOf(m.Node.Name, n.cfg.Base, n.cfg.MaxLevels)
+	if SharedPrefix(n.digits, candDigits) < m.Level {
+		return
+	}
+	n.adoptRingNeighbor(m.Level, m.Node, m.Right)
+}
+
+// climbFrom starts searches for the next ring level once this one has a
+// pointer, continuing the join's level-by-level table construction.
+func (n *Node) climbFrom(level int) {
+	next := level + 1
+	if next > n.cfg.MaxLevels {
+		return
+	}
+	if n.rights[next].IsZero() {
+		n.startRingSearch(next, true)
+	}
+	if n.lefts[next].IsZero() {
+		n.startRingSearch(next, false)
+	}
+}

@@ -1,0 +1,169 @@
+package overlay
+
+import "fuse/internal/transport"
+
+// Wire messages. All are registered with the transport codec so the same
+// protocol code runs over the simulated and the TCP transport.
+
+// msgPing is the periodic liveness check between routing-table neighbors,
+// carrying the client's piggyback payload (FUSE's 20-byte group hash).
+type msgPing struct {
+	From    NodeRef
+	Seq     uint64
+	Payload []byte
+}
+
+// msgPingAck answers a ping.
+type msgPingAck struct {
+	From NodeRef
+	Seq  uint64
+}
+
+// msgRoute carries a payload through the overlay toward a destination
+// name, hop by hop.
+type msgRoute struct {
+	Dest    string
+	Origin  NodeRef
+	LastHop NodeRef
+	Hops    int
+	TTL     int
+	Inner   any
+}
+
+// msgJoinLookup is routed toward the joiner's own name; the node at which
+// routing stops (the joiner's future predecessor) answers with the state
+// the joiner needs to insert itself.
+type msgJoinLookup struct {
+	Joiner NodeRef
+}
+
+// msgJoinReply carries the predecessor's view to the joiner.
+type msgJoinReply struct {
+	Pred  NodeRef
+	LeafR []NodeRef
+	LeafL []NodeRef
+}
+
+// msgLevel0Insert announces a new node to its level-0 neighborhood; the
+// recipients splice it into their leaf sets.
+type msgLevel0Insert struct {
+	Node NodeRef
+}
+
+// msgLeafRequest asks a peer for its leaf sets (used to refill a depleted
+// leaf set after failures).
+type msgLeafRequest struct {
+	From NodeRef
+}
+
+// msgLeafReply returns the peer's leaf sets.
+type msgLeafReply struct {
+	From  NodeRef
+	LeafR []NodeRef
+	LeafL []NodeRef
+}
+
+// msgRingSearch walks a ring at WalkLevel looking for the first node whose
+// numeric ID extends the origin's prefix to MatchLen digits; that node
+// becomes the origin's ring neighbor at MatchLen.
+type msgRingSearch struct {
+	Origin   NodeRef
+	MatchLen int
+	WalkLeft bool // walk counterclockwise (searching for a left neighbor)
+	HopsLeft int
+}
+
+// msgRingFound answers a ring search.
+type msgRingFound struct {
+	Node     NodeRef
+	MatchLen int
+	WalkLeft bool
+}
+
+// msgRingInsert announces the origin as a new member of the MatchLen ring
+// adjacent to the recipient; the recipient splices it in as its left or
+// right neighbor at that level.
+type msgRingInsert struct {
+	Node   NodeRef
+	Level  int
+	AsLeft bool // true: Node becomes recipient's left neighbor
+}
+
+// msgRingInsertAck confirms a ring insert and tells the joiner its other
+// neighbor at the level (the recipient's displaced pointer).
+type msgRingInsertAck struct {
+	From      NodeRef
+	Level     int
+	WasLeft   bool // recipient spliced Node in as its left neighbor
+	Displaced NodeRef
+}
+
+// msgSetRingNeighbor directs the recipient to replace its pointer at
+// Level.
+type msgSetRingNeighbor struct {
+	Node  NodeRef
+	Level int
+	Right bool // set recipient's right pointer (else left)
+}
+
+func init() {
+	transport.RegisterPayload(msgPing{})
+	transport.RegisterPayload(msgPingAck{})
+	transport.RegisterPayload(msgRoute{})
+	transport.RegisterPayload(msgJoinLookup{})
+	transport.RegisterPayload(msgJoinReply{})
+	transport.RegisterPayload(msgLevel0Insert{})
+	transport.RegisterPayload(msgLeafRequest{})
+	transport.RegisterPayload(msgLeafReply{})
+	transport.RegisterPayload(msgRingSearch{})
+	transport.RegisterPayload(msgRingFound{})
+	transport.RegisterPayload(msgRingInsert{})
+	transport.RegisterPayload(msgRingInsertAck{})
+	transport.RegisterPayload(msgSetRingNeighbor{})
+}
+
+// Handle dispatches an incoming transport message to the overlay. It
+// returns false when the message is not an overlay message, so a node's
+// top-level handler can try other protocol layers.
+func (n *Node) Handle(from transport.Addr, msg any) bool {
+	if n.stopped {
+		// Still claim overlay messages so they are not misrouted to
+		// other layers.
+		switch msg.(type) {
+		case msgPing, msgPingAck, msgRoute, msgJoinLookup, msgJoinReply,
+			msgLevel0Insert, msgLeafRequest, msgLeafReply, msgRingSearch,
+			msgRingFound, msgRingInsert, msgRingInsertAck, msgSetRingNeighbor:
+			return true
+		}
+		return false
+	}
+	switch m := msg.(type) {
+	case msgPing:
+		n.handlePing(m)
+	case msgPingAck:
+		n.handlePingAck(m)
+	case msgRoute:
+		n.handleRoute(m)
+	case msgJoinReply:
+		n.handleJoinReply(m)
+	case msgLevel0Insert:
+		n.handleLevel0Insert(m)
+	case msgLeafRequest:
+		n.handleLeafRequest(m)
+	case msgLeafReply:
+		n.handleLeafReply(m)
+	case msgRingSearch:
+		n.handleRingSearch(m)
+	case msgRingFound:
+		n.handleRingFound(m)
+	case msgRingInsert:
+		n.handleRingInsert(m)
+	case msgRingInsertAck:
+		n.handleRingInsertAck(m)
+	case msgSetRingNeighbor:
+		n.handleSetRingNeighbor(m)
+	default:
+		return false
+	}
+	return true
+}

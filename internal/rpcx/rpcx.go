@@ -1,0 +1,101 @@
+// Package rpcx is a minimal request/response layer over a transport Env.
+// The paper uses RPC exchanges between random node pairs to calibrate its
+// simulator against the ModelNet cluster (Figure 6); this package is that
+// measurement tool, and it runs identically over the simulated and the
+// TCP transport.
+package rpcx
+
+import (
+	"time"
+
+	"fuse/internal/transport"
+)
+
+// Request is the wire request frame. Body is application-defined.
+type Request struct {
+	Seq  uint64
+	From string
+	Body any
+}
+
+// Response is the wire response frame.
+type Response struct {
+	Seq  uint64
+	Body any
+}
+
+func init() {
+	transport.RegisterPayload(Request{})
+	transport.RegisterPayload(Response{})
+}
+
+// HandlerFunc computes a response body from a request body.
+type HandlerFunc func(from transport.Addr, body any) any
+
+// Peer issues and serves RPCs on one node.
+type Peer struct {
+	env     transport.Env
+	serve   HandlerFunc
+	nextSeq uint64
+	pending map[uint64]*call
+}
+
+type call struct {
+	done    func(body any, err error)
+	timeout transport.Timer
+	started time.Time
+}
+
+// ErrTimeout reports an RPC that received no response in time.
+type ErrTimeout struct{ Elapsed time.Duration }
+
+func (e ErrTimeout) Error() string { return "rpcx: call timed out after " + e.Elapsed.String() }
+
+// New creates a peer. serve may be nil for a client-only peer (incoming
+// requests are then answered with a nil body, which still measures
+// round-trip time).
+func New(env transport.Env, serve HandlerFunc) *Peer {
+	return &Peer{env: env, serve: serve, pending: make(map[uint64]*call)}
+}
+
+// Call issues an asynchronous RPC; done receives the response body, or an
+// ErrTimeout after timeout.
+func (p *Peer) Call(to transport.Addr, body any, timeout time.Duration, done func(body any, err error)) {
+	p.nextSeq++
+	seq := p.nextSeq
+	c := &call{done: done, started: p.env.Now()}
+	p.pending[seq] = c
+	c.timeout = p.env.After(timeout, func() {
+		if p.pending[seq] != c {
+			return
+		}
+		delete(p.pending, seq)
+		done(nil, ErrTimeout{Elapsed: p.env.Now().Sub(c.started)})
+	})
+	p.env.Send(to, Request{Seq: seq, From: string(p.env.Addr()), Body: body})
+}
+
+// Handle dispatches transport messages; false means "not ours".
+func (p *Peer) Handle(from transport.Addr, msg any) bool {
+	switch m := msg.(type) {
+	case Request:
+		var body any
+		if p.serve != nil {
+			body = p.serve(from, m.Body)
+		}
+		p.env.Send(transport.Addr(m.From), Response{Seq: m.Seq, Body: body})
+	case Response:
+		c, ok := p.pending[m.Seq]
+		if !ok {
+			return true // late response after timeout
+		}
+		delete(p.pending, m.Seq)
+		if c.timeout != nil {
+			c.timeout.Stop()
+		}
+		c.done(m.Body, nil)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package rpcx_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fuse/internal/eventsim"
+	"fuse/internal/netmodel"
+	"fuse/internal/rpcx"
+	"fuse/internal/transport"
+	"fuse/internal/transport/simnet"
+)
+
+func pair(t *testing.T, seed int64) (*eventsim.Sim, *simnet.Net, [2]*rpcx.Peer) {
+	t.Helper()
+	sim := eventsim.New(seed)
+	topo := netmodel.Generate(netmodel.DefaultConfig(seed))
+	net := simnet.New(sim, topo, simnet.Options{})
+	pts := topo.AttachPoints(2, sim.Rand())
+	var peers [2]*rpcx.Peer
+	for i, name := range []transport.Addr{"a", "b"} {
+		env := net.AddNode(name, pts[i])
+		p := rpcx.New(env, func(from transport.Addr, body any) any {
+			if s, ok := body.(string); ok {
+				return "echo:" + s
+			}
+			return nil
+		})
+		peers[i] = p
+		func(p *rpcx.Peer) {
+			net.SetHandler(name, func(from transport.Addr, msg any) { p.Handle(from, msg) })
+		}(p)
+	}
+	return sim, net, peers
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	sim, _, peers := pair(t, 1)
+	var got any
+	peers[0].Call("b", "hi", time.Minute, func(body any, err error) {
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		got = body
+	})
+	sim.Run()
+	if got != "echo:hi" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	sim, net, peers := pair(t, 2)
+	net.BlockLink("a", "b")
+	var gotErr error
+	peers[0].Call("b", "hi", 5*time.Second, func(_ any, err error) { gotErr = err })
+	sim.Run()
+	var te rpcx.ErrTimeout
+	if !errors.As(gotErr, &te) {
+		t.Fatalf("err = %v, want timeout", gotErr)
+	}
+	if te.Elapsed < 5*time.Second {
+		t.Fatalf("elapsed = %v", te.Elapsed)
+	}
+}
+
+func TestLateResponseIgnoredAfterTimeout(t *testing.T) {
+	sim, net, peers := pair(t, 3)
+	// Make the b->a direction extremely lossy so the response path is
+	// slow/lost while the request arrives: use directional block, then
+	// unblock after the timeout.
+	net.BlockLink("b", "a")
+	calls := 0
+	peers[0].Call("b", "hi", 2*time.Second, func(_ any, err error) { calls++ })
+	sim.RunFor(10 * time.Second)
+	net.UnblockLink("b", "a")
+	sim.RunFor(time.Minute)
+	if calls != 1 {
+		t.Fatalf("done invoked %d times, want 1", calls)
+	}
+}
+
+func TestConcurrentCallsMatchBySeq(t *testing.T) {
+	sim, _, peers := pair(t, 4)
+	results := map[string]string{}
+	for _, m := range []string{"x", "y", "z"} {
+		m := m
+		peers[0].Call("b", m, time.Minute, func(body any, err error) {
+			if err == nil {
+				results[m] = body.(string)
+			}
+		})
+	}
+	sim.Run()
+	for _, m := range []string{"x", "y", "z"} {
+		if results[m] != "echo:"+m {
+			t.Fatalf("results = %v", results)
+		}
+	}
+}
+
+func TestNilServerStillAcks(t *testing.T) {
+	sim := eventsim.New(5)
+	topo := netmodel.Generate(netmodel.DefaultConfig(5))
+	net := simnet.New(sim, topo, simnet.Options{})
+	pts := topo.AttachPoints(2, sim.Rand())
+	envA := net.AddNode("a", pts[0])
+	envB := net.AddNode("b", pts[1])
+	pa := rpcx.New(envA, nil)
+	pb := rpcx.New(envB, nil)
+	net.SetHandler("a", func(f transport.Addr, m any) { pa.Handle(f, m) })
+	net.SetHandler("b", func(f transport.Addr, m any) { pb.Handle(f, m) })
+	ok := false
+	pa.Call("b", "ping", time.Minute, func(body any, err error) { ok = err == nil && body == nil })
+	sim.Run()
+	if !ok {
+		t.Fatal("nil-handler peer did not ack")
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	sim, _, peers := pair(t, 6)
+	gotA, gotB := "", ""
+	peers[0].Call("b", "from-a", time.Minute, func(b any, _ error) { gotA, _ = b.(string), error(nil) })
+	peers[1].Call("a", "from-b", time.Minute, func(b any, _ error) { gotB, _ = b.(string), error(nil) })
+	sim.Run()
+	if gotA != "echo:from-a" || gotB != "echo:from-b" {
+		t.Fatalf("gotA=%q gotB=%q", gotA, gotB)
+	}
+}

@@ -1,0 +1,177 @@
+// Package stats provides the small statistical toolkit shared by the
+// experiment harness and the benchmarks: percentile summaries, CDF
+// extraction in the form the paper's figures use, and message-rate
+// counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample with capacity hint n.
+func NewSample(n int) *Sample { return &Sample{values: make([]float64, 0, n)} }
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in milliseconds, the unit the
+// paper's latency figures use.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+func (s *Sample) sortValues() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns NaN on an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sortValues()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest observation, or NaN on an empty sample.
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation, or NaN on an empty sample.
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// Mean returns the arithmetic mean, or NaN on an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Quartiles returns the 25th, 50th and 75th percentiles, the three series
+// the paper's bar charts (figures 7 and 8) report.
+func (s *Sample) Quartiles() (p25, p50, p75 float64) {
+	return s.Percentile(25), s.Percentile(50), s.Percentile(75)
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // fraction of samples <= Value, in (0, 1]
+}
+
+// CDF returns the empirical CDF of the sample, one point per distinct
+// value. It returns nil for an empty sample.
+func (s *Sample) CDF() []CDFPoint {
+	if len(s.values) == 0 {
+		return nil
+	}
+	s.sortValues()
+	var out []CDFPoint
+	n := float64(len(s.values))
+	for i := 0; i < len(s.values); i++ {
+		// Collapse runs of equal values into a single step.
+		if i+1 < len(s.values) && s.values[i+1] == s.values[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Value: s.values[i], Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt returns the fraction of samples <= v.
+func (s *Sample) CDFAt(v float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sortValues()
+	idx := sort.SearchFloat64s(s.values, math.Nextafter(v, math.Inf(1)))
+	return float64(idx) / float64(len(s.values))
+}
+
+// FormatCDF renders the CDF at the given fractions (e.g. 0.1, 0.2 ... 1.0)
+// as "frac%: value" lines, which is how the harness prints figure series.
+func (s *Sample) FormatCDF(fractions []float64, unit string) string {
+	var b strings.Builder
+	for _, f := range fractions {
+		fmt.Fprintf(&b, "%5.1f%%: %10.2f %s\n", f*100, s.Percentile(f*100), unit)
+	}
+	return b.String()
+}
+
+// Summary renders a one-line summary used in harness output.
+func (s *Sample) Summary(unit string) string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	p25, p50, p75 := s.Quartiles()
+	return fmt.Sprintf("n=%d min=%.1f p25=%.1f median=%.1f p75=%.1f max=%.1f mean=%.1f %s",
+		s.N(), s.Min(), p25, p50, p75, s.Max(), s.Mean(), unit)
+}
+
+// Counter is a monotonically increasing event counter with an associated
+// observation window, used to report messages-per-second figures.
+type Counter struct {
+	count uint64
+	start time.Time
+}
+
+// NewCounter returns a counter whose window starts at start.
+func NewCounter(start time.Time) *Counter { return &Counter{start: start} }
+
+// Inc adds n to the counter.
+func (c *Counter) Inc(n uint64) { c.count += n }
+
+// Count returns the total.
+func (c *Counter) Count() uint64 { return c.count }
+
+// Reset zeroes the counter and restarts the window at t.
+func (c *Counter) Reset(t time.Time) { c.count = 0; c.start = t }
+
+// RatePerSecond returns events per second over [start, now].
+func (c *Counter) RatePerSecond(now time.Time) float64 {
+	window := now.Sub(c.start).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.count) / window
+}

@@ -1,0 +1,117 @@
+package swim
+
+import (
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// msgPing is the direct probe.
+type msgPing struct {
+	From    overlay.NodeRef
+	Seq     uint64
+	Updates []Update
+}
+
+// msgAck answers a direct probe.
+type msgAck struct {
+	From    overlay.NodeRef
+	Seq     uint64
+	Updates []Update
+}
+
+// msgPingReq asks a proxy to probe Target on the requester's behalf
+// (SWIM's indirect probe, which masks intransitive connectivity between
+// the requester and the target).
+type msgPingReq struct {
+	From    overlay.NodeRef
+	Target  overlay.NodeRef
+	Seq     uint64
+	Updates []Update
+}
+
+// msgIndirectAck relays a successful proxy probe back to the requester.
+type msgIndirectAck struct {
+	From    overlay.NodeRef
+	Target  string
+	Seq     uint64
+	Updates []Update
+}
+
+func init() {
+	transport.RegisterPayload(msgPing{})
+	transport.RegisterPayload(msgAck{})
+	transport.RegisterPayload(msgPingReq{})
+	transport.RegisterPayload(msgIndirectAck{})
+}
+
+// Handle dispatches a transport message; false means "not ours".
+func (s *Service) Handle(from transport.Addr, msg any) bool {
+	if s.stopped {
+		switch msg.(type) {
+		case msgPing, msgAck, msgPingReq, msgIndirectAck:
+			return true
+		}
+		return false
+	}
+	switch m := msg.(type) {
+	case msgPing:
+		s.applyAll(m.Updates)
+		s.send(m.From.Addr, msgAck{From: s.self, Seq: m.Seq, Updates: s.takeGossip()})
+	case msgAck:
+		s.applyAll(m.Updates)
+		if !s.relayAck(m.From, m.Seq) {
+			s.handleAck(m.From.Name, m.Seq)
+		}
+	case msgPingReq:
+		s.applyAll(m.Updates)
+		s.handlePingReq(m)
+	case msgIndirectAck:
+		s.applyAll(m.Updates)
+		s.handleAck(m.Target, m.Seq)
+	default:
+		return false
+	}
+	return true
+}
+
+// handleAck confirms an outstanding probe (directly or via proxy).
+func (s *Service) handleAck(target string, seq uint64) {
+	if s.probes[seq] != target {
+		// Not a probe we are waiting on; the gossip it carried was
+		// still merged.
+		return
+	}
+	delete(s.probes, seq)
+	// A successful ack also refutes any standing suspicion locally.
+	if m, ok := s.members[target]; ok && m.state == Suspect {
+		s.applyUpdate(Update{Name: target, Addr: m.ref.Addr, State: Alive, Incarnation: m.incarnation + 1})
+	}
+}
+
+// handlePingReq performs a proxy probe: ping the target with a private
+// sequence number; if the target acks, relay to the requester.
+func (s *Service) handlePingReq(m msgPingReq) {
+	s.probeSeqRelay(m)
+}
+
+func (s *Service) probeSeqRelay(m msgPingReq) {
+	// Use a dedicated relay sequence space: the high bit distinguishes
+	// relayed probes from our own.
+	relaySeq := m.Seq | 1<<63
+	s.relays[relaySeq] = relay{requester: m.From, target: m.Target.Name}
+	s.send(m.Target.Addr, msgPing{From: s.self, Seq: relaySeq, Updates: s.takeGossip()})
+	// Forget the relay after a protocol period either way.
+	s.env.After(s.cfg.ProtocolPeriod, func() { delete(s.relays, relaySeq) })
+}
+
+// relayAck intercepts acks for relayed probes inside handleAck's fast
+// path; called from Handle via the msgAck case.
+func (s *Service) relayAck(from overlay.NodeRef, seq uint64) bool {
+	r, ok := s.relays[seq]
+	if !ok || r.target != from.Name {
+		return false
+	}
+	delete(s.relays, seq)
+	s.send(r.requester.Addr, msgIndirectAck{From: s.self, Target: r.target, Seq: seq &^ (1 << 63), Updates: s.takeGossip()})
+	return true
+}

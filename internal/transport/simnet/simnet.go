@@ -1,0 +1,328 @@
+// Package simnet is the simulated messaging layer: it delivers messages
+// between protocol stacks over a netmodel topology on an eventsim virtual
+// clock.
+//
+// It substitutes for the paper's ModelNet emulation cluster. Messages
+// experience the router-level path latency between the two endpoints'
+// attachment points, a per-message sender-side serialization overhead (the
+// paper measured 2.8 ms for its XML messaging layer), and TCP-like loss
+// masking: a lossy route drops an individual transmission with the route's
+// end-to-end loss probability, the "connection" retransmits with an
+// exponentially backed-off timeout, and if all retransmissions fail the
+// message is dropped entirely - the socket-break behaviour that produces
+// the paper's Figure 12 false positives at high loss rates.
+//
+// The package also provides the fault injection the experiments need:
+// node crash and restart, directional link blocking (for intransitive
+// connectivity), and full partitions.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fuse/internal/eventsim"
+	"fuse/internal/netmodel"
+	"fuse/internal/transport"
+)
+
+// Options tune the TCP-emulation behaviour of the simulated transport.
+type Options struct {
+	// SendOverhead is the per-message serialization cost paid serially at
+	// the sender. The paper measured 2.8 ms per send in its messaging
+	// layer; this serial cost is what makes notification latency rise
+	// with group size at the root (Figure 8).
+	SendOverhead time.Duration
+
+	// DeliverOverhead is the per-message cost paid at the receiver (the
+	// paper measured ~1.1 ms of virtual-node multiplexing overhead).
+	DeliverOverhead time.Duration
+
+	// RetriesBeforeBreak is the number of transmissions attempted before
+	// the emulated TCP connection gives up and the message is lost. With
+	// per-route loss q the message-loss probability is q^RetriesBeforeBreak.
+	RetriesBeforeBreak int
+
+	// RetryRTO is the first retransmission timeout; it doubles per retry.
+	RetryRTO time.Duration
+}
+
+// DefaultOptions mirror the paper's messaging layer measurements.
+func DefaultOptions() Options {
+	return Options{
+		SendOverhead:       2800 * time.Microsecond,
+		DeliverOverhead:    1100 * time.Microsecond,
+		RetriesBeforeBreak: 4,
+		RetryRTO:           time.Second,
+	}
+}
+
+// Net connects simulated nodes over a topology.
+type Net struct {
+	sim  *eventsim.Sim
+	topo *netmodel.Topology
+	opts Options
+
+	nodes map[transport.Addr]*node
+	rules map[rulePair]rule
+
+	sent      uint64
+	delivered uint64
+	dropped   uint64
+
+	// OnDeliver, if set, observes every successful delivery. Experiments
+	// use it to classify traffic.
+	OnDeliver func(from, to transport.Addr, msg any)
+}
+
+type rulePair struct{ from, to transport.Addr }
+
+type rule struct {
+	block   bool
+	loss    float64
+	hasLoss bool
+}
+
+// New creates a simulated network over topo driven by sim.
+func New(sim *eventsim.Sim, topo *netmodel.Topology, opts Options) *Net {
+	if opts.RetriesBeforeBreak < 1 {
+		opts.RetriesBeforeBreak = 1
+	}
+	return &Net{
+		sim:   sim,
+		topo:  topo,
+		opts:  opts,
+		nodes: make(map[transport.Addr]*node),
+		rules: make(map[rulePair]rule),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Net) Sim() *eventsim.Sim { return n.sim }
+
+// node implements transport.Env for one simulated endpoint.
+type node struct {
+	net      *Net
+	addr     transport.Addr
+	router   netmodel.RouterID
+	handler  transport.Handler
+	rng      *rand.Rand
+	crashed  bool
+	epoch    uint64 // incremented on restart; stale callbacks are dropped
+	nextFree time.Time
+	logf     func(format string, args ...any)
+}
+
+// AddNode attaches a new endpoint at the given router. The returned Env is
+// inert until SetHandler installs a message handler.
+func (n *Net) AddNode(addr transport.Addr, router netmodel.RouterID) transport.Env {
+	if _, dup := n.nodes[addr]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", addr))
+	}
+	nd := &node{
+		net:    n,
+		addr:   addr,
+		router: router,
+		rng:    rand.New(rand.NewSource(n.sim.Rand().Int63())),
+	}
+	nd.nextFree = n.sim.Now()
+	n.nodes[addr] = nd
+	return nd
+}
+
+// SetHandler installs the message handler for addr.
+func (n *Net) SetHandler(addr transport.Addr, h transport.Handler) {
+	nd := n.mustNode(addr)
+	nd.handler = h
+}
+
+// Crash fail-stops the node: it no longer sends, receives, or fires
+// timers. Its address remains allocated so it can be restarted.
+func (n *Net) Crash(addr transport.Addr) {
+	nd := n.mustNode(addr)
+	nd.crashed = true
+	nd.handler = nil
+}
+
+// Restart revives a crashed node with no handler and a new timer epoch,
+// modelling a process that lost all volatile state. The caller installs a
+// fresh protocol stack with SetHandler.
+func (n *Net) Restart(addr transport.Addr) transport.Env {
+	nd := n.mustNode(addr)
+	nd.crashed = false
+	nd.epoch++
+	nd.handler = nil
+	nd.nextFree = n.sim.Now()
+	return nd
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Net) Crashed(addr transport.Addr) bool { return n.mustNode(addr).crashed }
+
+// Router returns the attachment point of addr.
+func (n *Net) Router(addr transport.Addr) netmodel.RouterID { return n.mustNode(addr).router }
+
+func (n *Net) mustNode(addr transport.Addr) *node {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node %q", addr))
+	}
+	return nd
+}
+
+// BlockLink drops all traffic from -> to (directional, so intransitive
+// connectivity failures can be modelled).
+func (n *Net) BlockLink(from, to transport.Addr) {
+	r := n.rules[rulePair{from, to}]
+	r.block = true
+	n.rules[rulePair{from, to}] = r
+}
+
+// BlockBoth drops traffic in both directions between a and b.
+func (n *Net) BlockBoth(a, b transport.Addr) {
+	n.BlockLink(a, b)
+	n.BlockLink(b, a)
+}
+
+// UnblockLink removes a directional block.
+func (n *Net) UnblockLink(from, to transport.Addr) {
+	r := n.rules[rulePair{from, to}]
+	r.block = false
+	n.rules[rulePair{from, to}] = r
+}
+
+// SetLinkLoss overrides the end-to-end loss probability for the
+// directional pair, replacing the topology-derived route loss.
+func (n *Net) SetLinkLoss(from, to transport.Addr, loss float64) {
+	r := n.rules[rulePair{from, to}]
+	r.loss = loss
+	r.hasLoss = true
+	n.rules[rulePair{from, to}] = r
+}
+
+// Partition blocks all traffic between the listed groups (traffic within a
+// group is unaffected).
+func (n *Net) Partition(groups ...[]transport.Addr) {
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			for _, a := range groups[i] {
+				for _, b := range groups[j] {
+					n.BlockBoth(a, b)
+				}
+			}
+		}
+	}
+}
+
+// ClearRules removes all blocks and loss overrides.
+func (n *Net) ClearRules() { n.rules = make(map[rulePair]rule) }
+
+// Sent returns the number of Send calls that reached the network (from
+// live nodes).
+func (n *Net) Sent() uint64 { return n.sent }
+
+// Delivered returns the number of messages handed to a handler.
+func (n *Net) Delivered() uint64 { return n.delivered }
+
+// Dropped returns the number of messages lost to blocks, socket breaks, or
+// dead destinations.
+func (n *Net) Dropped() uint64 { return n.dropped }
+
+// --- transport.Env implementation ---
+
+func (nd *node) Addr() transport.Addr { return nd.addr }
+func (nd *node) Now() time.Time       { return nd.net.sim.Now() }
+func (nd *node) Rand() *rand.Rand     { return nd.rng }
+
+func (nd *node) Logf(format string, args ...any) {
+	if nd.logf != nil {
+		nd.logf(format, args...)
+	}
+}
+
+// SetLogf installs a debug logger for a node. Intended for tests.
+func (n *Net) SetLogf(addr transport.Addr, logf func(format string, args ...any)) {
+	n.mustNode(addr).logf = logf
+}
+
+func (nd *node) After(d time.Duration, fn func()) transport.Timer {
+	epoch := nd.epoch
+	return nd.net.sim.After(d, func() {
+		if nd.crashed || nd.epoch != epoch {
+			return
+		}
+		fn()
+	})
+}
+
+func (nd *node) Send(to transport.Addr, msg any) {
+	net := nd.net
+	if nd.crashed {
+		return
+	}
+	dst, ok := net.nodes[to]
+	if !ok {
+		net.dropped++
+		return
+	}
+	net.sent++
+
+	r := net.rules[rulePair{nd.addr, to}]
+	if r.block {
+		net.dropped++
+		return
+	}
+
+	// Sender-side serialization: messages leave one at a time, each
+	// paying SendOverhead. This serial queue is what the paper's Figure 8
+	// attributes its group-size dependence to.
+	now := net.sim.Now()
+	depart := now
+	if nd.nextFree.After(depart) {
+		depart = nd.nextFree
+	}
+	depart = depart.Add(net.opts.SendOverhead)
+	nd.nextFree = depart
+
+	path := net.topo.Path(nd.router, dst.router)
+	loss := path.Loss
+	if r.hasLoss {
+		loss = r.loss
+	}
+
+	// TCP-like retransmission: each attempt independently succeeds with
+	// probability 1-loss; exhausting the attempts breaks the connection
+	// and loses the message.
+	var retryDelay time.Duration
+	delivered := false
+	rto := net.opts.RetryRTO
+	for attempt := 0; attempt < net.opts.RetriesBeforeBreak; attempt++ {
+		if loss <= 0 || nd.rng.Float64() >= loss {
+			delivered = true
+			break
+		}
+		retryDelay += rto
+		rto *= 2
+	}
+	if !delivered {
+		net.dropped++
+		return
+	}
+
+	arrival := depart.Add(path.Latency + retryDelay + net.opts.DeliverOverhead)
+	dstEpoch := dst.epoch
+	net.sim.At(arrival, func() {
+		if dst.crashed || dst.epoch != dstEpoch || dst.handler == nil {
+			net.dropped++
+			return
+		}
+		net.delivered++
+		if net.OnDeliver != nil {
+			net.OnDeliver(nd.addr, to, msg)
+		}
+		dst.handler(nd.addr, msg)
+	})
+}
+
+var _ transport.Env = (*node)(nil)

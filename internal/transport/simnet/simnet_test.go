@@ -1,0 +1,292 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"fuse/internal/eventsim"
+	"fuse/internal/netmodel"
+	"fuse/internal/transport"
+)
+
+// testNet builds a small deterministic network with n nodes and no
+// overheads (unless opts override), returning the net and node addresses.
+func testNet(t *testing.T, n int, opts Options) (*Net, []transport.Addr) {
+	t.Helper()
+	sim := eventsim.New(42)
+	topo := netmodel.Generate(netmodel.DefaultConfig(42))
+	net := New(sim, topo, opts)
+	pts := topo.AttachPoints(n, sim.Rand())
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(string(rune('A'+i%26)) + string(rune('0'+i/26)))
+		net.AddNode(addrs[i], pts[i])
+	}
+	return net, addrs
+}
+
+func TestDeliveryAndLatency(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	var gotFrom transport.Addr
+	var gotMsg any
+	var at time.Time
+	net.SetHandler(addrs[1], func(from transport.Addr, msg any) {
+		gotFrom, gotMsg, at = from, msg, net.sim.Now()
+	})
+	net.SetHandler(addrs[0], func(transport.Addr, any) {})
+	env := net.nodes[addrs[0]]
+	env.Send(addrs[1], "hello")
+	net.sim.Run()
+	if gotFrom != addrs[0] || gotMsg != "hello" {
+		t.Fatalf("got %v %v", gotFrom, gotMsg)
+	}
+	want := net.topo.Path(net.Router(addrs[0]), net.Router(addrs[1])).Latency
+	if got := at.Sub(eventsim.Epoch); got != want {
+		t.Fatalf("delivery latency %v, want path latency %v", got, want)
+	}
+}
+
+func TestSendOverheadSerializesSender(t *testing.T) {
+	opts := Options{SendOverhead: 10 * time.Millisecond}
+	net, addrs := testNet(t, 2, opts)
+	var arrivals []time.Time
+	net.SetHandler(addrs[1], func(transport.Addr, any) {
+		arrivals = append(arrivals, net.sim.Now())
+	})
+	env := net.nodes[addrs[0]]
+	for i := 0; i < 3; i++ {
+		env.Send(addrs[1], i)
+	}
+	net.sim.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d, want 3", len(arrivals))
+	}
+	for i := 1; i < 3; i++ {
+		if gap := arrivals[i].Sub(arrivals[i-1]); gap != opts.SendOverhead {
+			t.Fatalf("gap %d = %v, want %v (serialized sends)", i, gap, opts.SendOverhead)
+		}
+	}
+}
+
+func TestBlockedLinkDropsDirectionally(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	got := map[transport.Addr]int{}
+	for _, a := range addrs {
+		a := a
+		net.SetHandler(a, func(from transport.Addr, msg any) { got[a]++ })
+	}
+	net.BlockLink(addrs[0], addrs[1])
+	net.nodes[addrs[0]].Send(addrs[1], "x") // dropped
+	net.nodes[addrs[1]].Send(addrs[0], "y") // delivered: other direction open
+	net.sim.Run()
+	if got[addrs[1]] != 0 {
+		t.Fatal("blocked direction delivered")
+	}
+	if got[addrs[0]] != 1 {
+		t.Fatal("open direction did not deliver")
+	}
+	if net.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", net.Dropped())
+	}
+	net.UnblockLink(addrs[0], addrs[1])
+	net.nodes[addrs[0]].Send(addrs[1], "x2")
+	net.sim.Run()
+	if got[addrs[1]] != 1 {
+		t.Fatal("unblocked link did not deliver")
+	}
+}
+
+func TestPartitionBlocksAcrossGroupsOnly(t *testing.T) {
+	net, addrs := testNet(t, 4, Options{})
+	got := map[transport.Addr]int{}
+	for _, a := range addrs {
+		a := a
+		net.SetHandler(a, func(transport.Addr, any) { got[a]++ })
+	}
+	net.Partition(addrs[:2], addrs[2:])
+	net.nodes[addrs[0]].Send(addrs[1], "in")  // same side
+	net.nodes[addrs[0]].Send(addrs[2], "out") // across
+	net.nodes[addrs[3]].Send(addrs[2], "in")  // same side
+	net.nodes[addrs[3]].Send(addrs[1], "out") // across
+	net.sim.Run()
+	if got[addrs[1]] != 1 || got[addrs[2]] != 1 {
+		t.Fatalf("intra-partition traffic broken: %v", got)
+	}
+	if net.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", net.Dropped())
+	}
+	net.ClearRules()
+	net.nodes[addrs[0]].Send(addrs[2], "after")
+	net.sim.Run()
+	if got[addrs[2]] != 2 {
+		t.Fatal("ClearRules did not restore connectivity")
+	}
+}
+
+func TestCrashStopsTimersAndTraffic(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	fired := 0
+	delivered := 0
+	net.SetHandler(addrs[0], func(transport.Addr, any) { delivered++ })
+	env := net.nodes[addrs[0]]
+	env.After(time.Second, func() { fired++ })
+	net.Crash(addrs[0])
+	// A message sent to the crashed node and a send attempt from it.
+	net.SetHandler(addrs[1], func(transport.Addr, any) { delivered++ })
+	net.nodes[addrs[1]].Send(addrs[0], "to-dead")
+	net.nodes[addrs[0]].Send(addrs[1], "from-dead")
+	net.sim.Run()
+	if fired != 0 {
+		t.Fatal("timer fired on crashed node")
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", delivered)
+	}
+}
+
+func TestRestartDropsStaleTimersButReceivesNew(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	staleFired := false
+	net.SetHandler(addrs[0], func(transport.Addr, any) {})
+	env := net.nodes[addrs[0]]
+	env.After(time.Second, func() { staleFired = true })
+	net.Crash(addrs[0])
+	env2 := net.Restart(addrs[0])
+	delivered := 0
+	net.SetHandler(addrs[0], func(transport.Addr, any) { delivered++ })
+	newFired := false
+	env2.After(2*time.Second, func() { newFired = true })
+	net.SetHandler(addrs[1], func(transport.Addr, any) {})
+	net.nodes[addrs[1]].Send(addrs[0], "hello-again")
+	net.sim.Run()
+	if staleFired {
+		t.Fatal("pre-crash timer fired after restart")
+	}
+	if !newFired {
+		t.Fatal("post-restart timer did not fire")
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestLossBreaksConnectionEventually(t *testing.T) {
+	opts := Options{RetriesBeforeBreak: 3, RetryRTO: 100 * time.Millisecond}
+	net, addrs := testNet(t, 2, opts)
+	delivered := 0
+	net.SetHandler(addrs[1], func(transport.Addr, any) { delivered++ })
+	net.SetLinkLoss(addrs[0], addrs[1], 1.0) // always lose: must break after retries
+	net.nodes[addrs[0]].Send(addrs[1], "doomed")
+	net.sim.Run()
+	if delivered != 0 {
+		t.Fatal("message delivered despite total loss")
+	}
+	if net.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", net.Dropped())
+	}
+}
+
+func TestModerateLossIsMaskedByRetries(t *testing.T) {
+	opts := Options{RetriesBeforeBreak: 4, RetryRTO: 10 * time.Millisecond}
+	net, addrs := testNet(t, 2, opts)
+	delivered := 0
+	net.SetHandler(addrs[1], func(transport.Addr, any) { delivered++ })
+	net.SetLinkLoss(addrs[0], addrs[1], 0.10)
+	const msgs = 2000
+	for i := 0; i < msgs; i++ {
+		net.nodes[addrs[0]].Send(addrs[1], i)
+	}
+	net.sim.Run()
+	// Loss per message is 0.10^4 = 1e-4; expect ~0.2 losses in 2000.
+	if delivered < msgs-5 {
+		t.Fatalf("delivered %d/%d; retries are not masking loss", delivered, msgs)
+	}
+}
+
+func TestRetriesAddLatency(t *testing.T) {
+	opts := Options{RetriesBeforeBreak: 5, RetryRTO: time.Second}
+	net, addrs := testNet(t, 2, opts)
+	var sentAt []time.Time
+	var maxDelay time.Duration
+	base := net.topo.Path(net.Router(addrs[0]), net.Router(addrs[1])).Latency
+	net.SetHandler(addrs[1], func(_ transport.Addr, msg any) {
+		i := msg.(int)
+		if d := net.sim.Now().Sub(sentAt[i]) - base; d > maxDelay {
+			maxDelay = d
+		}
+	})
+	// High loss: most deliveries need one or more retransmissions.
+	net.SetLinkLoss(addrs[0], addrs[1], 0.95)
+	for i := 0; i < 50; i++ {
+		sentAt = append(sentAt, net.sim.Now())
+		net.nodes[addrs[0]].Send(addrs[1], i)
+		net.sim.Run()
+	}
+	if maxDelay < time.Second {
+		t.Fatalf("max extra delay %v; retries add no latency", maxDelay)
+	}
+}
+
+func TestSendToUnknownAddrDropsSilently(t *testing.T) {
+	net, addrs := testNet(t, 1, Options{})
+	net.SetHandler(addrs[0], func(transport.Addr, any) {})
+	net.nodes[addrs[0]].Send("nope", "x")
+	net.sim.Run()
+	if net.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", net.Dropped())
+	}
+}
+
+func TestDuplicateAddrPanics(t *testing.T) {
+	net, addrs := testNet(t, 1, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.AddNode(addrs[0], 0)
+}
+
+func TestOnDeliverHookObservesTraffic(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	var seen []any
+	net.OnDeliver = func(from, to transport.Addr, msg any) { seen = append(seen, msg) }
+	net.SetHandler(addrs[1], func(transport.Addr, any) {})
+	net.nodes[addrs[0]].Send(addrs[1], "observed")
+	net.sim.Run()
+	if len(seen) != 1 || seen[0] != "observed" {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestCountersConsistent(t *testing.T) {
+	net, addrs := testNet(t, 3, Options{})
+	for _, a := range addrs {
+		net.SetHandler(a, func(transport.Addr, any) {})
+	}
+	net.BlockLink(addrs[0], addrs[1])
+	net.nodes[addrs[0]].Send(addrs[1], 1) // dropped
+	net.nodes[addrs[0]].Send(addrs[2], 2) // delivered
+	net.nodes[addrs[1]].Send(addrs[2], 3) // delivered
+	net.sim.Run()
+	if net.Sent() != 3 || net.Delivered() != 2 || net.Dropped() != 1 {
+		t.Fatalf("sent=%d delivered=%d dropped=%d", net.Sent(), net.Delivered(), net.Dropped())
+	}
+}
+
+func TestPerNodeRandDeterministic(t *testing.T) {
+	build := func() []int64 {
+		net, addrs := testNet(t, 3, Options{})
+		var out []int64
+		for _, a := range addrs {
+			out = append(out, net.nodes[a].Rand().Int63())
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("per-node rng not deterministic across identical builds")
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package tcpnet is the live messaging layer: it runs the same protocol
+// stacks as the simulator over real TCP connections.
+//
+// Like the paper's implementation, it caches TCP connections between node
+// pairs (so the first message between a pair pays connection establishment
+// and later messages do not - the two RPC curves of Figure 6), delivers
+// all messages over reliable byte streams, and treats a broken connection
+// as an unreachable peer: queued messages are dropped and the protocol's
+// own acknowledgment timeouts detect the failure.
+//
+// Each node runs a single mailbox goroutine that serializes message
+// handling and timer callbacks, giving protocol code the same
+// single-threaded execution model as the simulated transport.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuse/internal/transport"
+)
+
+// Node is one live endpoint. It implements transport.Env.
+type Node struct {
+	addr    transport.Addr
+	ln      net.Listener
+	mailbox chan func()
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[transport.Addr]*outConn
+	closed  bool
+	handler transport.Handler
+
+	rng  *rand.Rand
+	logf atomic.Value // func(string, ...any)
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dials     atomic.Uint64
+}
+
+// outConn is a cached outbound connection with a writer goroutine. Sends
+// enqueue onto ch; the writer dials lazily and drops everything on error.
+type outConn struct {
+	to   transport.Addr
+	ch   chan transport.Envelope
+	node *Node
+}
+
+const outQueueDepth = 256
+
+// Listen binds a TCP listener (use "127.0.0.1:0" for tests) and starts the
+// node's mailbox and accept loops. The returned node's Addr is the actual
+// bound address, which other nodes dial.
+func Listen(bind string, seed int64) (*Node, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", bind, err)
+	}
+	n := &Node{
+		addr:    transport.Addr(ln.Addr().String()),
+		ln:      ln,
+		mailbox: make(chan func(), 1024),
+		done:    make(chan struct{}),
+		conns:   make(map[transport.Addr]*outConn),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	n.wg.Add(2)
+	go n.mailboxLoop()
+	go n.acceptLoop()
+	return n, nil
+}
+
+// SetHandler installs the message handler. It takes effect on the mailbox
+// goroutine, so it is safe to call at any time.
+func (n *Node) SetHandler(h transport.Handler) {
+	n.post(func() {
+		n.mu.Lock()
+		n.handler = h
+		n.mu.Unlock()
+	})
+}
+
+// Close shuts the node down: the listener closes, cached connections
+// close, timers stop delivering, and the mailbox drains.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = map[transport.Addr]*outConn{}
+	n.mu.Unlock()
+
+	close(n.done)
+	n.ln.Close()
+	for _, c := range conns {
+		close(c.ch)
+	}
+	n.wg.Wait()
+}
+
+// Sent reports messages accepted for sending.
+func (n *Node) Sent() uint64 { return n.sent.Load() }
+
+// Delivered reports messages handed to the handler.
+func (n *Node) Delivered() uint64 { return n.delivered.Load() }
+
+// Dials reports outbound TCP connection attempts; the gap between Sent and
+// Dials demonstrates connection caching.
+func (n *Node) Dials() uint64 { return n.dials.Load() }
+
+// SetLogf installs a debug logger.
+func (n *Node) SetLogf(f func(format string, args ...any)) { n.logf.Store(f) }
+
+// --- transport.Env ---
+
+// Addr returns the node's dialable address.
+func (n *Node) Addr() transport.Addr { return n.addr }
+
+// Now returns wall-clock time.
+func (n *Node) Now() time.Time { return time.Now() }
+
+// Rand returns the node's random source. It must only be used from the
+// mailbox goroutine, matching the Env contract.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Logf records a debug line if a logger is installed.
+func (n *Node) Logf(format string, args ...any) {
+	if f, ok := n.logf.Load().(func(string, ...any)); ok && f != nil {
+		f(format, args...)
+	}
+}
+
+type liveTimer struct {
+	t       *time.Timer
+	stopped atomic.Bool
+}
+
+func (lt *liveTimer) Stop() bool {
+	if lt.stopped.Swap(true) {
+		return false
+	}
+	return lt.t.Stop()
+}
+
+// After schedules fn on the mailbox goroutine after d.
+func (n *Node) After(d time.Duration, fn func()) transport.Timer {
+	lt := &liveTimer{}
+	lt.t = time.AfterFunc(d, func() {
+		n.post(func() {
+			if lt.stopped.Load() {
+				return
+			}
+			lt.stopped.Store(true)
+			fn()
+		})
+	})
+	return lt
+}
+
+// Send transmits msg to the node listening at addr to. The send is
+// asynchronous; on any connection error the message (and any others queued
+// behind it) is silently dropped, modelling an unreachable peer.
+func (n *Node) Send(to transport.Addr, msg any) {
+	n.sent.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	c, ok := n.conns[to]
+	if !ok {
+		c = &outConn{to: to, ch: make(chan transport.Envelope, outQueueDepth), node: n}
+		n.conns[to] = c
+		n.wg.Add(1)
+		go c.writeLoop()
+	}
+	// Enqueue under the lock so Close cannot close the channel between
+	// the cache lookup and the send.
+	select {
+	case c.ch <- transport.Envelope{From: string(n.addr), Payload: msg}:
+	default:
+		// Queue full: the peer is not draining; drop like a saturated
+		// TCP connection that the sender times out on.
+		n.Logf("tcpnet: queue to %s full, dropping message", to)
+	}
+}
+
+var _ transport.Env = (*Node)(nil)
+
+// --- internals ---
+
+func (n *Node) post(fn func()) {
+	select {
+	case n.mailbox <- fn:
+	case <-n.done:
+	}
+}
+
+func (n *Node) mailboxLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.mailbox:
+			fn()
+		case <-n.done:
+			// Drain whatever is queued, then exit.
+			for {
+				select {
+				case fn := <-n.mailbox:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	go func() { // tear the connection down on shutdown to unblock Decode
+		<-n.done
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env transport.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		from := transport.Addr(env.From)
+		payload := env.Payload
+		n.post(func() {
+			n.mu.Lock()
+			h := n.handler
+			n.mu.Unlock()
+			if h != nil {
+				n.delivered.Add(1)
+				h(from, payload)
+			}
+		})
+	}
+}
+
+func (c *outConn) writeLoop() {
+	n := c.node
+	defer n.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for env := range c.ch {
+		if conn == nil {
+			n.dials.Add(1)
+			d := net.Dialer{Timeout: 5 * time.Second}
+			var err error
+			conn, err = d.Dial("tcp", string(c.to))
+			if err != nil {
+				n.Logf("tcpnet: dial %s: %v", c.to, err)
+				c.abandon()
+				return
+			}
+			enc = gob.NewEncoder(conn)
+		}
+		if err := enc.Encode(env); err != nil {
+			n.Logf("tcpnet: write %s: %v", c.to, err)
+			c.abandon()
+			return
+		}
+	}
+}
+
+// abandon removes the connection from the cache so the next Send redials.
+// Messages still queued on the channel are lost, as on a broken TCP
+// connection; the channel itself is garbage-collected once unreferenced.
+func (c *outConn) abandon() {
+	n := c.node
+	n.mu.Lock()
+	if n.conns[c.to] == c {
+		delete(n.conns, c.to)
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,81 @@
+// Package transport defines the environment abstraction that lets the
+// overlay and FUSE protocol code run unchanged over different messaging
+// layers, mirroring the paper's property that "the live system and the
+// simulator use an identical code base except for the base messaging
+// layer".
+//
+// A protocol stack is written as a single-threaded event handler: it
+// receives messages and timer callbacks through an Env, and sends messages
+// and sets timers through the same Env. Each Env guarantees that all
+// callbacks for its node are serialized (no two run concurrently), so
+// protocol code needs no locking. The simulated transport
+// (transport/simnet) runs callbacks on a deterministic virtual clock; the
+// live transport (transport/tcpnet) runs them on a per-node mailbox
+// goroutine over real TCP connections.
+package transport
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"time"
+)
+
+// Addr identifies a node endpoint. For the simulated transport it is an
+// arbitrary unique name; for the TCP transport it is a dialable
+// "host:port" string. Protocol code treats it as opaque.
+type Addr string
+
+// Handler receives every message delivered to a node. Implementations run
+// serialized with the node's timer callbacks.
+type Handler func(from Addr, msg any)
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Env is the execution environment handed to a protocol stack. All methods
+// must be called from within the node's callbacks (or before the node
+// starts processing messages); they are not safe for use from foreign
+// goroutines except where an implementation documents otherwise.
+type Env interface {
+	// Addr returns this node's own address.
+	Addr() Addr
+
+	// Now returns the current time (virtual in simulation, wall-clock
+	// live).
+	Now() time.Time
+
+	// After schedules fn to run on this node's event loop after d.
+	After(d time.Duration, fn func()) Timer
+
+	// Send transmits msg to the node at addr. Delivery is asynchronous
+	// and unreliable in the same way a TCP connection to a failed or
+	// unreachable peer is: the message may never arrive, and the sender
+	// is not told. Protocols detect loss with their own acknowledgment
+	// timeouts, exactly as the paper's implementation does.
+	Send(to Addr, msg any)
+
+	// Rand returns this node's random source. In simulation it is
+	// deterministic per node.
+	Rand() *rand.Rand
+
+	// Logf records a debug line tagged with the node's address and time.
+	Logf(format string, args ...any)
+}
+
+// RegisterPayload records a concrete message type with the wire codec so
+// the TCP transport can gob-encode it inside an envelope. It is a no-op
+// requirement for the simulated transport, but protocol packages register
+// their message types unconditionally in init so the same stack runs on
+// either transport.
+func RegisterPayload(v any) {
+	gob.Register(v)
+}
+
+// Envelope is the wire frame used by byte-oriented transports.
+type Envelope struct {
+	From    string
+	Payload any
+}
