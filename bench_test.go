@@ -116,6 +116,19 @@ func BenchmarkSteadyStateLoad(b *testing.B) {
 	})
 }
 
+// BenchmarkManyGroupsSteadyState stresses steady-state checking with
+// 2000+ concurrent groups on a 100-node overlay (the ROADMAP's
+// production-scale regime). sim_speed is virtual seconds simulated per
+// wall-clock second over the measurement window: the throughput the
+// per-link checking index exists to keep flat as groups grow.
+func BenchmarkManyGroupsSteadyState(b *testing.B) {
+	runExperiment(b, "manygroups", map[string]string{
+		"msg_per_s":    "msg/s",
+		"sim_speed":    "simsec/s",
+		"check_timers": "timers",
+	})
+}
+
 // BenchmarkSVTreeGroupSizes regenerates the §4 statistics: FUSE group
 // sizes while building a subscriber tree (paper: mean 2.9, max 13).
 func BenchmarkSVTreeGroupSizes(b *testing.B) {

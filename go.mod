@@ -1,0 +1,3 @@
+module fuse
+
+go 1.24

@@ -14,7 +14,7 @@ import (
 // observation into a group-wide notification.
 
 // addTreeLink installs (or refreshes) the monitored link to neighbor for
-// group id at sequence seq.
+// group id at sequence seq, and registers the pair in the per-link index.
 func (f *Fuse) addTreeLink(id GroupID, seq uint64, neighbor overlay.NodeRef) {
 	if neighbor.IsZero() || neighbor.Addr == f.self.Addr {
 		return
@@ -27,24 +27,17 @@ func (f *Fuse) addTreeLink(id GroupID, seq uint64, neighbor overlay.NodeRef) {
 	if seq > cs.seq {
 		cs.seq = seq
 	}
+	ls := f.linkFor(neighbor)
 	if l, ok := cs.links[neighbor.Addr]; ok {
 		l.installedAt = f.env.Now()
-		f.resetLinkTimer(cs, l)
+		f.ensureLinkTimer(ls)
 		return
 	}
 	l := &treeLink{neighbor: neighbor, installedAt: f.env.Now()}
 	cs.links[neighbor.Addr] = l
-	f.resetLinkTimer(cs, l)
-}
-
-func (f *Fuse) resetLinkTimer(cs *checkState, l *treeLink) {
-	stopTimer(l.timer)
-	id := cs.id
-	neighbor := l.neighbor
-	l.timer = f.env.After(f.cfg.CheckTimeout, func() {
-		f.logf("check timeout for %s link %s", id, neighbor.Name)
-		f.linkFailed(id, neighbor)
-	})
+	ls.groups[id] = l
+	ls.invalidate()
+	f.ensureLinkTimer(ls)
 }
 
 // linkFailed implements the paper's core transition: a node that decides a
@@ -180,25 +173,36 @@ func (f *Fuse) installArrivedAtRoot(ic msgInstallChecking, prev overlay.NodeRef)
 
 // PingPayload supplies the piggyback hash for an overlay ping to neighbor:
 // the SHA-1 over the sorted IDs of all groups whose checking tree includes
-// the link to that neighbor (20 bytes, exactly the paper's overhead).
+// the link to that neighbor (20 bytes, exactly the paper's overhead). The
+// hash comes straight from the per-link index's cache: O(1) per ping, not
+// a scan over every group on the node.
 func (f *Fuse) PingPayload(neighbor overlay.NodeRef) []byte {
-	ids := f.groupsOnLink(neighbor.Addr)
-	return hashGroupIDs(ids)
+	ls, ok := f.links[neighbor.Addr]
+	if !ok {
+		return nil
+	}
+	return ls.linkHash()
 }
 
 // OnPingPayload checks the neighbor's piggybacked hash against our own
-// view of the jointly monitored groups. A match refreshes every timer on
-// the link; a mismatch starts an explicit list exchange.
+// cached view of the jointly monitored groups. A match re-arms the link's
+// single shared deadline, refreshing every group on the link at once; a
+// mismatch starts an explicit list exchange.
 func (f *Fuse) OnPingPayload(neighbor overlay.NodeRef, payload []byte) {
-	ids := f.groupsOnLink(neighbor.Addr)
-	local := hashGroupIDs(ids)
-	if bytes.Equal(local, payload) {
-		for _, id := range ids {
-			cs := f.checking[id]
-			if l, ok := cs.links[neighbor.Addr]; ok {
-				f.resetLinkTimer(cs, l)
-			}
+	ls, ok := f.links[neighbor.Addr]
+	if !ok {
+		if len(payload) == 0 {
+			return // neither side monitors anything across this link
 		}
+		// The neighbor monitors groups here that we know nothing about:
+		// send our (empty) list so it can tear them down. Marked as a
+		// reply: with no state on this link, the neighbor's counter-list
+		// could never tell us anything, so don't solicit one per ping.
+		f.env.Send(neighbor.Addr, msgGroupLists{From: f.self, IsReply: true})
+		return
+	}
+	if bytes.Equal(ls.linkHash(), payload) {
+		f.resetLinkTimer(ls)
 		return
 	}
 	f.env.Send(neighbor.Addr, msgGroupLists{From: f.self, Entries: f.linkEntries(neighbor.Addr), IsReply: false})
@@ -207,27 +211,26 @@ func (f *Fuse) OnPingPayload(neighbor overlay.NodeRef, payload []byte) {
 // OnNeighborDown converts an overlay-level link death into FUSE link
 // failures for every group monitored across that link.
 func (f *Fuse) OnNeighborDown(neighbor overlay.NodeRef) {
-	for _, id := range f.groupsOnLink(neighbor.Addr) {
-		f.linkFailed(id, overlay.NodeRef{}) // not triggered by a peer's soft: notify all links
+	ls, ok := f.links[neighbor.Addr]
+	if !ok {
+		return
+	}
+	for _, id := range ls.linkIDs() {
+		if cs, ok := f.checking[id]; ok && cs.links[neighbor.Addr] != nil {
+			f.linkFailed(id, overlay.NodeRef{}) // not triggered by a peer's soft: notify all links
+		}
 	}
 }
 
 // groupsOnLink lists the groups whose checking tree crosses the link to
-// addr, sorted for deterministic hashing.
+// addr, in deterministic order, read from the per-link index. Cold-path
+// helper for reconciliation; the ping paths use the cached hash directly.
 func (f *Fuse) groupsOnLink(addr transport.Addr) []GroupID {
-	var ids []GroupID
-	for id, cs := range f.checking {
-		if _, ok := cs.links[addr]; ok {
-			ids = append(ids, id)
-		}
+	ls, ok := f.links[addr]
+	if !ok {
+		return nil
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Root.Name != ids[j].Root.Name {
-			return ids[i].Root.Name < ids[j].Root.Name
-		}
-		return ids[i].Num < ids[j].Num
-	})
-	return ids
+	return ls.linkIDs()
 }
 
 func (f *Fuse) linkEntries(addr transport.Addr) []listEntry {
@@ -258,21 +261,26 @@ func hashGroupIDs(ids []GroupID) []byte {
 	return h.Sum(nil)
 }
 
-// handleGroupLists reconciles after a hash mismatch (§6.3): groups both
-// sides agree on get their timers reset; groups only we believe in are
-// torn down as link failures - unless they are younger than the grace
-// period, which covers the installation race during group creation.
+// handleGroupLists reconciles after a hash mismatch (§6.3): agreement on
+// any group proves the neighbor alive and re-arms the link's shared
+// deadline; groups only we believe in are torn down as link failures -
+// unless they are younger than the grace period, which covers the
+// installation race during group creation.
 func (f *Fuse) handleGroupLists(m msgGroupLists) {
 	theirs := make(map[GroupID]bool, len(m.Entries))
 	for _, e := range m.Entries {
 		theirs[e.ID] = true
 	}
 	now := f.env.Now()
+	agreed := false
 	for _, id := range f.groupsOnLink(m.From.Addr) {
-		cs := f.checking[id]
+		cs, ok := f.checking[id]
+		if !ok || cs.links[m.From.Addr] == nil {
+			continue // torn down earlier in this same pass
+		}
 		l := cs.links[m.From.Addr]
 		if theirs[id] {
-			f.resetLinkTimer(cs, l)
+			agreed = true
 			continue
 		}
 		if now.Sub(l.installedAt) < f.cfg.GracePeriod {
@@ -280,6 +288,11 @@ func (f *Fuse) handleGroupLists(m msgGroupLists) {
 		}
 		f.logf("reconciliation: %s not monitored by %s, failing link", id, m.From.Name)
 		f.linkFailed(id, overlay.NodeRef{})
+	}
+	if agreed {
+		if ls, ok := f.links[m.From.Addr]; ok {
+			f.resetLinkTimer(ls)
+		}
 	}
 	if !m.IsReply {
 		f.env.Send(m.From.Addr, msgGroupLists{From: f.self, Entries: f.linkEntries(m.From.Addr), IsReply: true})

@@ -10,14 +10,18 @@
 //     (logically: completes its callback) only when all have replied, so a
 //     successful create means every member was alive and installed.
 //   - Each member routes an InstallChecking message through the overlay
-//     toward the root; every node on the path becomes a *delegate* holding
-//     (group, neighbor) timers. The union of these paths is the group's
-//     liveness-checking spanning tree.
+//     toward the root; every node on the path becomes a *delegate*
+//     monitoring (group, neighbor) tree links. The union of these paths is
+//     the group's liveness-checking spanning tree. Links are organized in
+//     a per-link index (linkindex.go): all groups crossing one overlay
+//     link share a cached piggyback hash and a single CheckTimeout
+//     deadline.
 //   - Steady-state monitoring costs nothing beyond the overlay's own
 //     neighbor pings: each ping piggybacks a 20-byte SHA-1 hash of the
-//     group IDs the two endpoints jointly monitor. A matching hash resets
-//     all the corresponding timers; a mismatch triggers an explicit list
-//     reconciliation (with a grace period protecting in-flight installs).
+//     group IDs the two endpoints jointly monitor. A matching hash re-arms
+//     the link's shared deadline, refreshing every group on the link; a
+//     mismatch triggers an explicit list reconciliation (with a grace
+//     period protecting in-flight installs).
 //   - A failed link (overlay ping timeout, FUSE timer expiry, or
 //     reconciliation disagreement) makes the node stop acknowledging the
 //     group and spread a SoftNotification through the tree; members react
@@ -87,10 +91,12 @@ type Config struct {
 	// InstallChecking to arrive before attempting a repair.
 	InstallTimeout time.Duration
 
-	// CheckTimeout is the freshness bound on a (group, neighbor) tree
-	// link: if no matching-hash ping arrives within it, the link is
-	// declared failed. It must exceed the overlay ping interval plus
-	// ping timeout.
+	// CheckTimeout is the freshness bound on a monitored overlay link:
+	// if no matching-hash ping (or reconciliation agreement) arrives
+	// within it, every group riding the link is declared failed. The
+	// deadline is shared by all groups on the link; a group installed on
+	// an already-monitored link inherits its current deadline. It must
+	// exceed the overlay ping interval plus ping timeout.
 	CheckTimeout time.Duration
 
 	// MemberRepairTimeout is how long a member waits for the root to
@@ -156,6 +162,11 @@ type Fuse struct {
 	checking map[GroupID]*checkState
 	handlers map[GroupID][]Handler
 
+	// links is the per-link checking index: for each overlay link, the
+	// groups monitored across it, the cached piggyback hash, and the
+	// single shared CheckTimeout deadline (see linkindex.go).
+	links map[transport.Addr]*linkState
+
 	// persist, when non-nil, records group memberships durably (§3.6
 	// stable-storage variant).
 	persist Persistence
@@ -216,11 +227,12 @@ type checkState struct {
 	links map[transport.Addr]*treeLink
 }
 
-// treeLink is one monitored (group, neighbor) pair.
+// treeLink is one monitored (group, neighbor) pair. Its freshness clock
+// is the shared per-link deadline in the linkState index entry;
+// installedAt stays per-pair for the reconciliation grace period.
 type treeLink struct {
 	neighbor    overlay.NodeRef
 	installedAt time.Time
-	timer       transport.Timer
 }
 
 // New creates the FUSE layer for an overlay node and installs itself as
@@ -236,6 +248,7 @@ func New(env transport.Env, ov *overlay.Node, cfg Config) *Fuse {
 		members:  make(map[GroupID]*memberState),
 		checking: make(map[GroupID]*checkState),
 		handlers: make(map[GroupID][]Handler),
+		links:    make(map[transport.Addr]*linkState),
 	}
 	ov.SetClient(f)
 	return f
@@ -268,6 +281,18 @@ func (f *Fuse) LiveGroups() []GroupID {
 		add(id)
 	}
 	return out
+}
+
+// CheckingStats sizes the liveness-checking state for experiments:
+// groups with checking state here, distinct (group, link) monitored
+// pairs, and live check timers backing them.
+func (f *Fuse) CheckingStats() (groups, pairs, timers int) {
+	groups = len(f.checking)
+	for _, cs := range f.checking {
+		pairs += len(cs.links)
+	}
+	timers = len(f.links) // one shared deadline per monitored link
+	return groups, pairs, timers
 }
 
 // HasState reports whether the node holds any state for id.
@@ -363,14 +388,15 @@ func (f *Fuse) teardown(id GroupID) {
 	f.forget(id)
 }
 
-// dropChecking removes only the liveness-checking tree state for id.
+// dropChecking removes only the liveness-checking tree state for id,
+// detaching it from every per-link index entry it rides on.
 func (f *Fuse) dropChecking(id GroupID) {
 	cs, ok := f.checking[id]
 	if !ok {
 		return
 	}
-	for _, l := range cs.links {
-		stopTimer(l.timer) // order-independent: no sends, no rng
+	for addr := range cs.links {
+		f.detachFromLink(id, addr)
 	}
 	delete(f.checking, id)
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -135,6 +136,130 @@ func TestHashGroupIDsProperty(t *testing.T) {
 	}
 }
 
+// TestLinkHashCacheCoherence drives the per-link index through random
+// sequences of addTreeLink / dropChecking / seq bumps and checks, after
+// every step, that the cached piggyback hash for every link equals a
+// from-scratch recomputation over the groups actually crossing it - the
+// invariant PingPayload now serves from cache.
+func TestLinkHashCacheCoherence(t *testing.T) {
+	f, _ := newFakeFuse("d")
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]GroupID, 12)
+	for i := range ids {
+		ids[i] = GroupID{Root: ref("r"), Num: uint64(i + 1)}
+	}
+	neighbors := []overlay.NodeRef{ref("n1"), ref("n2"), ref("n3"), ref("n4")}
+
+	naiveHash := func(addr transport.Addr) []byte {
+		var on []GroupID
+		for id, cs := range f.checking {
+			if _, ok := cs.links[addr]; ok {
+				on = append(on, id)
+			}
+		}
+		sort.Slice(on, func(i, j int) bool { return on[i].Num < on[j].Num })
+		return hashGroupIDs(on)
+	}
+
+	for step := 0; step < 2000; step++ {
+		id := ids[rng.Intn(len(ids))]
+		switch rng.Intn(4) {
+		case 0, 1:
+			f.addTreeLink(id, uint64(rng.Intn(3)), neighbors[rng.Intn(len(neighbors))])
+		case 2:
+			f.dropChecking(id)
+		case 3: // seq bump on an existing group: must not disturb the hash
+			if cs, ok := f.checking[id]; ok {
+				cs.seq++
+			}
+		}
+		for _, nb := range neighbors {
+			want := naiveHash(nb.Addr)
+			got := f.PingPayload(nb)
+			if string(got) != string(want) {
+				t.Fatalf("step %d: cached hash for link %s = %x, recomputation = %x", step, nb.Name, got, want)
+			}
+		}
+	}
+
+	// Index bookkeeping: every linkState entry must be non-empty and
+	// mirror the per-group view exactly.
+	pairs := 0
+	for _, cs := range f.checking {
+		pairs += len(cs.links)
+	}
+	indexed := 0
+	for addr, ls := range f.links {
+		if len(ls.groups) == 0 {
+			t.Fatalf("empty linkState for %s survived", addr)
+		}
+		indexed += len(ls.groups)
+	}
+	if indexed != pairs {
+		t.Fatalf("index holds %d pairs, checking map holds %d", indexed, pairs)
+	}
+}
+
+// TestInstallsDoNotPostponeLinkFailure pins the shared deadline's arming
+// rule: installing new groups on a link is not liveness evidence for the
+// neighbor, so a steady stream of installs (faster than CheckTimeout)
+// must not postpone failure detection for groups already riding the
+// link. Only a matching-hash ping or reconciliation agreement re-arms.
+func TestInstallsDoNotPostponeLinkFailure(t *testing.T) {
+	f, env := newFakeFuse("d")
+	peer := ref("peer")
+	first := GroupID{Root: ref("r"), Num: 1}
+	f.addTreeLink(first, 0, peer)
+	// The neighbor never refreshes the link, but installs keep arriving
+	// well inside CheckTimeout.
+	for i := 0; i < 10; i++ {
+		env.advance(f.cfg.CheckTimeout / 4)
+		f.addTreeLink(GroupID{Root: ref("r"), Num: uint64(i + 2)}, 0, peer)
+	}
+	if _, ok := f.checking[first]; ok {
+		t.Fatal("sustained installs postponed link-failure detection for an existing group")
+	}
+}
+
+// TestSharedLinkTimerCoversAllGroups pins the timer collapse: many groups
+// over one link share a single deadline, one ping refresh re-arms them
+// all, and expiry fails every group on the link.
+func TestSharedLinkTimerCoversAllGroups(t *testing.T) {
+	f, env := newFakeFuse("d")
+	peer := ref("peer")
+	const n = 20
+	for i := 0; i < n; i++ {
+		f.addTreeLink(GroupID{Root: ref("r"), Num: uint64(i + 1)}, 0, peer)
+	}
+	live := func() int {
+		c := 0
+		for _, tm := range env.timers {
+			if !tm.stopped && !tm.fired {
+				c++
+			}
+		}
+		return c
+	}
+	if got := live(); got != 1 {
+		t.Fatalf("%d live timers for %d groups on one link, want 1", got, n)
+	}
+	// A matching-hash ping refreshes the shared deadline.
+	env.advance(f.cfg.CheckTimeout / 2)
+	f.OnPingPayload(peer, f.PingPayload(peer))
+	env.advance(f.cfg.CheckTimeout/2 + time.Second)
+	if len(f.checking) != n {
+		t.Fatalf("refresh did not cover all groups: %d of %d survive", len(f.checking), n)
+	}
+	// Expiry fails every group riding the link.
+	env.advance(f.cfg.CheckTimeout)
+	if len(f.checking) != 0 {
+		t.Fatalf("%d groups survived link timeout", len(f.checking))
+	}
+	if len(f.links) != 0 {
+		t.Fatal("link index entry survived timeout")
+	}
+}
+
 func TestRepairBackoffDoublesAndCaps(t *testing.T) {
 	f, env := newFakeFuse("root")
 	rs := &rootState{
@@ -242,6 +367,50 @@ func TestReconciliationGracePeriodProtectsFreshLinks(t *testing.T) {
 	f.handleGroupLists(msgGroupLists{From: ref("peer"), IsReply: true})
 	if _, ok := f.checking[id]; ok {
 		t.Fatal("reconciliation did not fail a disagreed link after grace")
+	}
+}
+
+// TestGracePeriodSurvivesSharedLinkTimer is the regression test for the
+// per-link timer change: when one link carries both an agreed old group
+// and a fresh disagreed one, reconciliation must re-arm the shared
+// deadline (the neighbor is alive) while still protecting the fresh
+// group through its grace period - and still failing it by list exchange
+// once the grace period lapses, even though agreement on the other group
+// keeps refreshing the link's only timer.
+func TestGracePeriodSurvivesSharedLinkTimer(t *testing.T) {
+	f, env := newFakeFuse("d")
+	peer := ref("peer")
+	agreedID := GroupID{Root: ref("r"), Num: 21}
+	freshID := GroupID{Root: ref("r"), Num: 22}
+	f.addTreeLink(agreedID, 1, peer)
+	env.advance(f.cfg.GracePeriod + time.Second) // agreedID is old
+	f.addTreeLink(freshID, 0, peer)
+
+	lists := msgGroupLists{From: peer, Entries: []listEntry{{ID: agreedID, Seq: 1}}, IsReply: true}
+	f.handleGroupLists(lists)
+	if _, ok := f.checking[freshID]; !ok {
+		t.Fatal("grace period did not protect the fresh group on a shared link")
+	}
+	if _, ok := f.checking[agreedID]; !ok {
+		t.Fatal("agreed group was dropped")
+	}
+	// Agreement re-armed the shared deadline: nothing may expire before
+	// another full CheckTimeout.
+	env.advance(f.cfg.CheckTimeout - time.Second)
+	if _, ok := f.checking[agreedID]; !ok {
+		t.Fatal("shared deadline was not refreshed by reconciliation agreement")
+	}
+	// Past the grace period, the same disagreement kills only the fresh
+	// group; the agreed one keeps riding the link.
+	f.handleGroupLists(lists)
+	if _, ok := f.checking[freshID]; ok {
+		t.Fatal("reconciliation did not fail the disagreed group after grace")
+	}
+	if _, ok := f.checking[agreedID]; !ok {
+		t.Fatal("failing the disagreed group tore down the agreed one")
+	}
+	if ls := f.links[peer.Addr]; ls == nil || len(ls.groups) != 1 {
+		t.Fatalf("link index out of sync after partial teardown: %+v", f.links[peer.Addr])
 	}
 }
 

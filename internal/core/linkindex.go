@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"fuse/internal/overlay"
+	"fuse/internal/transport"
+)
+
+// Per-link checking index. The paper's steady-state claim (§7.5) is that
+// monitoring costs one 20-byte hash per overlay ping no matter how many
+// groups ride the link. Keying checking state by group alone broke that
+// at scale: every ping send and receive recomputed the piggyback hash
+// from a scan over all groups on the node, and every (group, link) pair
+// armed its own CheckTimeout timer. This index inverts the structure:
+// each overlay link carries the set of groups monitored across it, a
+// hash over their sorted IDs cached until the membership changes, and
+// one shared CheckTimeout deadline - all groups on a link are refreshed
+// by the same matching-hash ping, so they share a clock. Ping sends and
+// receives become O(1), and timers collapse from O(groups x links) to
+// O(links). Per-group installedAt stays on the treeLink for the
+// reconciliation grace period.
+
+// linkState aggregates the checking state crossing one overlay link.
+type linkState struct {
+	neighbor overlay.NodeRef
+	groups   map[GroupID]*treeLink
+
+	// sorted and hash cache the piggyback digest over the IDs in groups.
+	// They are valid only while fresh, which any membership change
+	// clears; refreshes allocate new slices, so snapshots returned by
+	// linkIDs stay stable across concurrent teardown.
+	sorted []GroupID
+	hash   []byte
+	fresh  bool
+
+	// timer is the single CheckTimeout deadline shared by every group on
+	// the link.
+	timer transport.Timer
+}
+
+func (ls *linkState) invalidate() {
+	ls.fresh = false
+	ls.sorted = nil
+	ls.hash = nil
+}
+
+// linkFor returns (creating if needed) the index entry for the link to
+// neighbor, refreshing the stored reference in case the neighbor's
+// identity behind the address changed across a restart.
+func (f *Fuse) linkFor(neighbor overlay.NodeRef) *linkState {
+	ls, ok := f.links[neighbor.Addr]
+	if !ok {
+		ls = &linkState{neighbor: neighbor, groups: make(map[GroupID]*treeLink)}
+		f.links[neighbor.Addr] = ls
+	}
+	ls.neighbor = neighbor
+	return ls
+}
+
+// refresh recomputes the sorted ID list and cached hash.
+func (ls *linkState) refresh() {
+	if ls.fresh {
+		return
+	}
+	ids := make([]GroupID, 0, len(ls.groups))
+	for id := range ls.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Root.Name != ids[j].Root.Name {
+			return ids[i].Root.Name < ids[j].Root.Name
+		}
+		return ids[i].Num < ids[j].Num
+	})
+	ls.sorted = ids
+	ls.hash = hashGroupIDs(ids)
+	ls.fresh = true
+}
+
+// linkIDs returns the link's group IDs in deterministic order. The
+// returned slice is never mutated afterwards, so callers may keep
+// iterating it while tearing groups down.
+func (ls *linkState) linkIDs() []GroupID {
+	ls.refresh()
+	return ls.sorted
+}
+
+// linkHash returns the cached piggyback hash (nil for an empty link).
+func (ls *linkState) linkHash() []byte {
+	ls.refresh()
+	return ls.hash
+}
+
+// detachFromLink removes group id from the index entry for addr,
+// dropping the entry (and its timer) when the last group leaves.
+func (f *Fuse) detachFromLink(id GroupID, addr transport.Addr) {
+	ls, ok := f.links[addr]
+	if !ok {
+		return
+	}
+	delete(ls.groups, id)
+	ls.invalidate()
+	if len(ls.groups) == 0 {
+		stopTimer(ls.timer) // order-independent: no sends, no rng
+		delete(f.links, addr)
+	}
+}
+
+// resetLinkTimer re-arms the link's shared CheckTimeout deadline. Only
+// evidence that the neighbor is alive (a matching-hash ping, or
+// reconciliation agreement) may call this.
+func (f *Fuse) resetLinkTimer(ls *linkState) {
+	stopTimer(ls.timer)
+	ls.timer = f.env.After(f.cfg.CheckTimeout, func() { f.linkTimedOut(ls) })
+}
+
+// ensureLinkTimer arms the shared deadline only when none is pending.
+// Installs go through here, not resetLinkTimer: installing a group says
+// nothing about the neighbor's liveness, and re-arming the deadline per
+// install would let a steady stream of installs through a delegate
+// postpone failure detection for every group already on the link. A
+// newly indexed link gets a full CheckTimeout; later installs inherit
+// the current deadline (an alive link refreshes it by ping well before
+// expiry, and a fresh group's grace period rides on installedAt, not on
+// this clock).
+func (f *Fuse) ensureLinkTimer(ls *linkState) {
+	if ls.timer == nil {
+		f.resetLinkTimer(ls)
+	}
+}
+
+// linkTimedOut fires when no matching-hash ping refreshed the link
+// within CheckTimeout: every group monitored across it has observed a
+// link failure.
+func (f *Fuse) linkTimedOut(ls *linkState) {
+	if f.links[ls.neighbor.Addr] != ls {
+		return // emptied or replaced while the callback was in flight
+	}
+	f.logf("check timeout for link %s (%d groups)", ls.neighbor.Name, len(ls.groups))
+	for _, id := range ls.linkIDs() {
+		if cs, ok := f.checking[id]; ok && cs.links[ls.neighbor.Addr] != nil {
+			f.linkFailed(id, ls.neighbor)
+		}
+	}
+}

@@ -67,17 +67,18 @@ func (r *Result) String() string {
 type Runner func(p Params) (*Result, error)
 
 var registry = map[string]Runner{
-	"fig6":     Fig6RPCLatency,
-	"fig7":     Fig7GroupCreation,
-	"fig8":     Fig8SignaledNotification,
-	"fig9":     Fig9CrashNotification,
-	"fig10":    Fig10Churn,
-	"fig11":    Fig11RouteLoss,
-	"fig12":    Fig12FalsePositives,
-	"steady":   SteadyStateLoad,
-	"svtree":   SVTreeGroupSizes,
-	"swimcmp":  SwimComparison,
-	"ablation": AblationTopologies,
+	"fig6":       Fig6RPCLatency,
+	"fig7":       Fig7GroupCreation,
+	"fig8":       Fig8SignaledNotification,
+	"fig9":       Fig9CrashNotification,
+	"fig10":      Fig10Churn,
+	"fig11":      Fig11RouteLoss,
+	"fig12":      Fig12FalsePositives,
+	"steady":     SteadyStateLoad,
+	"manygroups": ManyGroupsSteadyState,
+	"svtree":     SVTreeGroupSizes,
+	"swimcmp":    SwimComparison,
+	"ablation":   AblationTopologies,
 }
 
 // Names lists all registered experiments, sorted.
