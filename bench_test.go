@@ -129,6 +129,24 @@ func BenchmarkManyGroupsSteadyState(b *testing.B) {
 	})
 }
 
+// BenchmarkPaperScaleSteadyState runs the §7.3 scalability driver at its
+// 1,000-node scaled-down setting per iteration (go test -short skips it;
+// the full 16,000-node run is `go run ./cmd/fusebench -exp paperscale`).
+// sim_speed is virtual seconds per wall second over the steady window;
+// events_per_wall_s is the raw simulator event rate the eventsim pool and
+// the simnet route/delivery caches are engineered for.
+func BenchmarkPaperScaleSteadyState(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1000-node paper-scale run")
+	}
+	runExperiment(b, "paperscale", map[string]string{
+		"msg_per_s":         "msg/s",
+		"sim_speed":         "simsec/s",
+		"events_per_wall_s": "events/s",
+		"notify_median_s":   "notify-median-s",
+	})
+}
+
 // BenchmarkSVTreeGroupSizes regenerates the §4 statistics: FUSE group
 // sizes while building a subscriber tree (paper: mean 2.9, max 13).
 func BenchmarkSVTreeGroupSizes(b *testing.B) {

@@ -21,11 +21,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (fig6..fig12, steady, svtree, ablation, all)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		nodes = flag.Int("nodes", 0, "override overlay size (0 = experiment default)")
-		short = flag.Bool("short", false, "reduced-scale run")
-		paper = flag.Bool("paper", false, "paper-scale run where supported (e.g. 16k-node svtree)")
+		exp    = flag.String("exp", "", "experiment to run (fig6..fig12, steady, paperscale, svtree, ablation, all)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		nodes  = flag.Int("nodes", 0, "override overlay size (0 = experiment default)")
+		groups = flag.Int("groups", 0, "override group count where the driver has one (0 = default)")
+		window = flag.Duration("window", 0, "override steady-state measurement window (0 = default)")
+		short  = flag.Bool("short", false, "reduced-scale run")
+		paper  = flag.Bool("paper", false, "paper-scale run where supported (e.g. 16k-node svtree)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,8 @@ func main() {
 		Seed:       *seed,
 		Short:      *short,
 		PaperScale: *paper,
+		Groups:     *groups,
+		Window:     *window,
 	}
 
 	failed := false

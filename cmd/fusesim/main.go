@@ -27,6 +27,7 @@ func main() {
 		crash  = flag.Int("crash", 2, "nodes to crash simultaneously")
 		seed   = flag.Int64("seed", 1, "random seed (same seed => identical run)")
 		window = flag.Duration("window", 10*time.Minute, "virtual time to observe after the crash")
+		paper  = flag.Bool("paper", false, "use the paper-scale topology (required beyond ~2,880 nodes, e.g. -nodes 16000)")
 	)
 	flag.Parse()
 	if *size > *nodes || *crash >= *nodes {
@@ -34,7 +35,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	sim := fuse.NewSim(*nodes, *seed)
+	var sim *fuse.Sim
+	if *paper {
+		sim = fuse.NewSimPaperScale(*nodes, *seed)
+	} else {
+		sim = fuse.NewSim(*nodes, *seed)
+	}
 	fmt.Printf("overlay of %d nodes up; creating %d groups of %d...\n", *nodes, *groups, *size)
 
 	rng := newRng(*seed)

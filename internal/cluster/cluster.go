@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 
 	"fuse/internal/core"
 	"fuse/internal/eventsim"
@@ -142,6 +143,32 @@ func (c *Cluster) Assemble() {
 		}
 	}
 	overlay.AssembleStatic(ovs)
+}
+
+// WarmRoutes precomputes the topology paths for every current overlay
+// link plus the given extra node-index pairs, using all CPUs. Large
+// deployments (the 16,000-node paper-scale runs) call this after
+// Assemble: resolving each source's links in one parallel shortest-path
+// sweep is what keeps setup minutes, not hours, once the topology's tree
+// cache is bounded. Small deployments may skip it; routes then warm
+// lazily on first send.
+func (c *Cluster) WarmRoutes(extra [][2]int) {
+	routerOf := make(map[transport.Addr]netmodel.RouterID, len(c.Nodes))
+	for _, n := range c.Nodes {
+		routerOf[n.Addr] = n.Router
+	}
+	var pairs [][2]netmodel.RouterID
+	for _, n := range c.Nodes {
+		for _, nb := range n.Overlay.Neighbors() {
+			if r, ok := routerOf[nb.Addr]; ok {
+				pairs = append(pairs, [2]netmodel.RouterID{n.Router, r})
+			}
+		}
+	}
+	for _, e := range extra {
+		pairs = append(pairs, [2]netmodel.RouterID{c.Nodes[e[0]].Router, c.Nodes[e[1]].Router})
+	}
+	c.Topo.WarmRoutes(pairs, runtime.NumCPU())
 }
 
 // AddNode grows the deployment by one fresh node attached to a random

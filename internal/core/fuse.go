@@ -32,6 +32,13 @@
 //     with no knowledge of the group produces a HardNotification, which is
 //     fanned member -> root -> members and invokes the application's
 //     failure handler exactly once per node.
+//
+// Scale: all per-ping work is O(1) in the number of groups (the per-link
+// index caches the piggyback hash until membership changes), the timer
+// population is O(monitored links) rather than O(groups x links), and
+// the shared deadlines re-arm in place through the transport's timer
+// reschedule support - properties the manygroups (2,000 groups on 100
+// nodes) and paperscale (16,000-node overlay) experiments measure.
 package core
 
 import (

@@ -67,15 +67,24 @@ func (ls *linkState) refresh() {
 	for id := range ls.groups {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Root.Name != ids[j].Root.Name {
-			return ids[i].Root.Name < ids[j].Root.Name
-		}
-		return ids[i].Num < ids[j].Num
-	})
+	sort.Sort(groupIDOrder(ids))
 	ls.sorted = ids
 	ls.hash = hashGroupIDs(ids)
 	ls.fresh = true
+}
+
+// groupIDOrder sorts group IDs by (root name, counter) without the
+// reflection cost of sort.Slice; refresh runs after every membership
+// change on a link, which group creation bursts make hot.
+type groupIDOrder []GroupID
+
+func (s groupIDOrder) Len() int      { return len(s) }
+func (s groupIDOrder) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s groupIDOrder) Less(i, j int) bool {
+	if s[i].Root.Name != s[j].Root.Name {
+		return s[i].Root.Name < s[j].Root.Name
+	}
+	return s[i].Num < s[j].Num
 }
 
 // linkIDs returns the link's group IDs in deterministic order. The
@@ -109,8 +118,13 @@ func (f *Fuse) detachFromLink(id GroupID, addr transport.Addr) {
 
 // resetLinkTimer re-arms the link's shared CheckTimeout deadline. Only
 // evidence that the neighbor is alive (a matching-hash ping, or
-// reconciliation agreement) may call this.
+// reconciliation agreement) may call this. This runs once per received
+// ping, so the deadline moves in place where the transport supports it
+// instead of cancelling and reallocating a timer each time.
 func (f *Fuse) resetLinkTimer(ls *linkState) {
+	if ls.timer != nil && transport.ResetTimer(ls.timer, f.cfg.CheckTimeout) {
+		return
+	}
 	stopTimer(ls.timer)
 	ls.timer = f.env.After(f.cfg.CheckTimeout, func() { f.linkTimedOut(ls) })
 }

@@ -7,10 +7,19 @@
 // for the same instant fire in the order they were scheduled. Combined with
 // a seeded random source this makes every simulation reproducible, which
 // the test suite and the experiment harness rely on.
+//
+// The engine is built for sustained high event rates (a 16,000-node
+// overlay arms hundreds of thousands of periodic timers): events live on
+// a free list and are recycled after they fire or are stopped, Stop
+// removes its event from the heap eagerly (the queue never accumulates
+// cancelled entries), Reset re-arms a pending or currently-firing timer
+// in place without allocating, and Schedule provides a handle-free path
+// for fire-and-forget events whose callback closures are themselves
+// reused. Steady-state workloads built on Reset and Schedule run without
+// per-event allocations.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -27,6 +36,11 @@ type Sim struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+
+	// free is the event recycling pool. Events are pushed when they fire
+	// or are stopped and popped by the next After/Schedule; reuse is LIFO
+	// so identically seeded runs recycle identically.
+	free []*event
 
 	// Executed counts events that have fired; useful for loop detection
 	// and for rough progress reporting in long experiments.
@@ -51,51 +65,138 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 func (s *Sim) Executed() uint64 { return s.executed }
 
 // Pending reports how many events are scheduled but have not fired.
+// Stopped timers leave the queue immediately, so the count is exact.
 func (s *Sim) Pending() int { return len(s.queue) }
 
-// Timer is a handle to a scheduled callback.
+// event states. A pending event sits in the heap; a fired event is the one
+// whose callback is currently executing (observable only from within that
+// callback); a free event sits on the recycling pool.
+const (
+	statePending = iota
+	stateFired
+	stateFree
+)
+
+// Timer is a handle to a scheduled callback. The handle pins the specific
+// scheduling it was returned for: once the event fires or is stopped (and
+// its storage is recycled for an unrelated event), Stop and Reset on the
+// stale handle report false and touch nothing.
 type Timer struct {
-	ev *event
+	s   *Sim
+	ev  *event
+	gen uint32
+}
+
+// live reports whether the handle still refers to its original scheduling.
+func (t *Timer) live() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending;
 // it returns false if the callback already ran or the timer was already
-// stopped. Unlike time.Timer, Stop may be called from within any event
-// callback without risk of deadlock.
+// stopped. The event is removed from the queue and recycled immediately.
+// Unlike time.Timer, Stop may be called from within any event callback
+// without risk of deadlock.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+	if !t.live() || t.ev.state != statePending {
 		return false
 	}
-	t.ev.cancelled = true
+	t.s.removeEvent(t.ev.index)
+	t.s.recycle(t.ev)
 	return true
 }
 
-// Stopped reports whether the timer has been cancelled.
-func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.cancelled }
+// Reset re-arms the timer to fire d from now with its original callback,
+// reporting whether it succeeded. It succeeds while the timer is pending
+// (the deadline moves in place, without allocating) and from within the
+// timer's own callback (the firing event is re-queued, which is how
+// periodic timers reuse one event forever). After Stop, or once the
+// callback has completed, Reset reports false and the caller must
+// schedule anew with After.
+func (t *Timer) Reset(d time.Duration) bool {
+	if !t.live() {
+		return false
+	}
+	s := t.s
+	ev := t.ev
+	if d < 0 {
+		d = 0
+	}
+	switch ev.state {
+	case statePending:
+		ev.at = s.now + d
+		ev.seq = s.seq
+		s.seq++
+		s.fixEvent(ev.index)
+		return true
+	case stateFired:
+		ev.at = s.now + d
+		ev.seq = s.seq
+		s.seq++
+		ev.state = statePending
+		s.pushEvent(ev)
+		return true
+	}
+	return false
+}
+
+// Stopped reports whether the timer is no longer pending (stopped, fired,
+// or recycled).
+func (t *Timer) Stopped() bool {
+	return !t.live() || t.ev.state != statePending
+}
 
 type event struct {
-	at        time.Duration
-	seq       uint64 // tiebreak: schedule order
-	fn        func()
-	cancelled bool
-	fired     bool
-	index     int // heap index
+	at    time.Duration
+	seq   uint64 // tiebreak: schedule order
+	fn    func()
+	gen   uint32 // incremented on recycle; stale Timer handles mismatch
+	state uint8
+	index int // heap index
+}
+
+// alloc takes an event from the pool (or allocates one), initializes it,
+// and pushes it on the queue.
+func (s *Sim) alloc(d time.Duration, fn func()) *event {
+	if fn == nil {
+		panic("eventsim: schedule with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = s.now + d
+	ev.seq = s.seq
+	s.seq++
+	ev.fn = fn
+	ev.state = statePending
+	s.pushEvent(ev)
+	return ev
+}
+
+// recycle returns a no-longer-pending event to the pool. Bumping the
+// generation invalidates every outstanding Timer handle to it.
+func (s *Sim) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.state = stateFree
+	ev.index = -1
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn to run d from now and returns a cancellable handle.
 // A negative d is treated as zero: the event fires at the current instant,
 // after any events already scheduled for that instant.
 func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	if fn == nil {
-		panic("eventsim: After called with nil callback")
-	}
-	if d < 0 {
-		d = 0
-	}
-	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	ev := s.alloc(d, fn)
+	return &Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // At schedules fn at the absolute virtual time t. Times in the past are
@@ -104,24 +205,40 @@ func (s *Sim) At(t time.Time, fn func()) *Timer {
 	return s.After(t.Sub(s.Now()), fn)
 }
 
+// Schedule queues fn to run d from now without returning a handle. It is
+// the allocation-free path for fire-and-forget events (message deliveries,
+// one-shot follow-ups): the event comes from the pool and returns to it
+// right after firing, and no Timer is created. When fn is itself a reused
+// closure, a steady stream of Schedule calls allocates nothing.
+func (s *Sim) Schedule(d time.Duration, fn func()) {
+	s.alloc(d, fn)
+}
+
+// ScheduleAt is Schedule at the absolute virtual time t.
+func (s *Sim) ScheduleAt(t time.Time, fn func()) {
+	s.alloc(t.Sub(s.Now()), fn)
+}
+
 // Step fires the single next pending event. It reports false when the queue
 // is empty or the simulation has been stopped.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 && !s.stopped {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		if ev.at < s.now {
-			panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", ev.at, s.now))
-		}
-		s.now = ev.at
-		ev.fired = true
-		s.executed++
-		ev.fn()
-		return true
+	if len(s.queue) == 0 || s.stopped {
+		return false
 	}
-	return false
+	ev := s.popEvent()
+	if ev.at < s.now {
+		panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", ev.at, s.now))
+	}
+	s.now = ev.at
+	ev.state = stateFired
+	s.executed++
+	ev.fn()
+	// Unless the callback re-armed its own event via Reset, the event is
+	// spent: recycle it for the next schedule.
+	if ev.state == stateFired {
+		s.recycle(ev)
+	}
+	return true
 }
 
 // Run fires events until the queue drains or Stop is called.
@@ -135,11 +252,7 @@ func (s *Sim) Run() {
 // pending, so simulations can be resumed with further RunUntil or Run calls.
 func (s *Sim) RunUntil(deadline time.Time) {
 	limit := deadline.Sub(Epoch)
-	for !s.stopped {
-		next, ok := s.peek()
-		if !ok || next > limit {
-			break
-		}
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= limit {
 		s.Step()
 	}
 	if !s.stopped && s.now < limit {
@@ -157,46 +270,122 @@ func (s *Sim) Stop() { s.stopped = true }
 // Stopped reports whether Stop has been called.
 func (s *Sim) Stopped() bool { return s.stopped }
 
-func (s *Sim) peek() (time.Duration, bool) {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0].at, true
-	}
-	return 0, false
-}
-
-// eventQueue is a min-heap ordered by (time, schedule sequence).
+// The pending queue is a hand-rolled 4-ary min-heap ordered by (time,
+// schedule sequence), chosen over container/heap to avoid interface
+// dispatch on the hottest loop in the simulator and to halve the sift
+// depth. The (at, seq) pair is unique per pending event, so the pop order
+// is a total order independent of the heap's internal layout - removals
+// in any order cannot perturb determinism.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports strict (at, seq) order between two events.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (s *Sim) pushEvent(ev *event) {
+	q := append(s.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+	s.queue = q
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+func (s *Sim) popEvent() *event {
+	q := s.queue
+	top := q[0]
+	last := len(q) - 1
+	moved := q[last]
+	q[last] = nil
+	q = q[:last]
+	s.queue = q
+	if last > 0 {
+		s.siftDown(moved, 0)
+	}
+	top.index = -1
+	return top
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// removeEvent deletes the event at heap index i (a stopped timer).
+func (s *Sim) removeEvent(i int) {
+	q := s.queue
+	last := len(q) - 1
+	removed := q[i]
+	moved := q[last]
+	q[last] = nil
+	q = q[:last]
+	s.queue = q
+	if i < last {
+		s.fixFrom(moved, i)
+	}
+	removed.index = -1
+}
+
+// fixEvent restores heap order for the event at index i after its
+// deadline changed in place (Timer.Reset on a pending timer).
+func (s *Sim) fixEvent(i int) {
+	s.fixFrom(s.queue[i], i)
+}
+
+// fixFrom places ev at index i, sifting whichever direction order needs.
+func (s *Sim) fixFrom(ev *event, i int) {
+	q := s.queue
+	if i > 0 && before(ev, q[(i-1)/4]) {
+		for i > 0 {
+			parent := (i - 1) / 4
+			if !before(ev, q[parent]) {
+				break
+			}
+			q[i] = q[parent]
+			q[i].index = i
+			i = parent
+		}
+		q[i] = ev
+		ev.index = i
+		return
+	}
+	s.siftDown(ev, i)
+}
+
+// siftDown places ev at index i, moving it toward the leaves while a
+// child sorts earlier.
+func (s *Sim) siftDown(ev *event, i int) {
+	q := s.queue
+	n := len(q)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		small := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if before(q[c], q[small]) {
+				small = c
+			}
+		}
+		if !before(q[small], ev) {
+			break
+		}
+		q[i] = q[small]
+		q[i].index = i
+		i = small
+	}
+	q[i] = ev
+	ev.index = i
 }

@@ -274,6 +274,166 @@ func TestMonotonicClock(t *testing.T) {
 	}
 }
 
+func TestStopShrinksPending(t *testing.T) {
+	s := New(1)
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, s.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", s.Pending())
+	}
+	for i, tm := range timers[:5] {
+		if !tm.Stop() {
+			t.Fatalf("Stop %d reported false", i)
+		}
+		if want := 9 - i; s.Pending() != want {
+			t.Fatalf("pending = %d after %d stops, want %d", s.Pending(), i+1, want)
+		}
+	}
+	s.Run()
+	if s.Executed() != 5 {
+		t.Fatalf("executed = %d, want 5", s.Executed())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", s.Pending())
+	}
+}
+
+func TestResetMovesPendingDeadline(t *testing.T) {
+	s := New(1)
+	var at time.Time
+	tm := s.After(time.Second, func() { at = s.Now() })
+	if !tm.Reset(5 * time.Second) {
+		t.Fatal("Reset on pending timer reported false")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (reset must not duplicate)", s.Pending())
+	}
+	s.Run()
+	if want := Epoch.Add(5 * time.Second); !at.Equal(want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+}
+
+func TestResetFromOwnCallbackMakesPeriodicTimer(t *testing.T) {
+	s := New(1)
+	fires := 0
+	var tm *Timer
+	tm = s.After(time.Second, func() {
+		fires++
+		if fires < 5 {
+			if !tm.Reset(time.Second) {
+				t.Fatal("Reset from own callback reported false")
+			}
+		}
+	})
+	s.Run()
+	if fires != 5 {
+		t.Fatalf("fires = %d, want 5", fires)
+	}
+	if want := Epoch.Add(5 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", s.Now(), want)
+	}
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset after the final fire should report false")
+	}
+}
+
+func TestResetAfterStopReportsFalse(t *testing.T) {
+	s := New(1)
+	tm := s.After(time.Second, func() {})
+	tm.Stop()
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset after Stop should report false")
+	}
+	s.Run()
+	if s.Executed() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+// TestStaleHandleCannotTouchRecycledEvent pins the generation check: once
+// a timer fires or is stopped, its event storage may be recycled for an
+// unrelated scheduling, and the old handle must not affect the new one.
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	s := New(1)
+	old := s.After(time.Second, func() {})
+	old.Stop()
+	fired := false
+	s.After(2*time.Second, func() { fired = true }) // reuses the pooled event
+	if old.Stop() {
+		t.Fatal("stale Stop reported true")
+	}
+	if old.Reset(time.Hour) {
+		t.Fatal("stale Reset reported true")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event's new callback did not fire")
+	}
+}
+
+// TestDeterminismWithPoolReuse extends the determinism property to the
+// pooled/reused-event machinery: a workload that mixes schedules, stops,
+// in-place resets, periodic self-resets, and handle-free Schedule calls
+// must produce an identical firing trace and Executed() count per seed.
+func TestDeterminismWithPoolReuse(t *testing.T) {
+	run := func(seed int64) ([]int, uint64) {
+		s := New(seed)
+		var trace []int
+		var timers []*Timer
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			i := i
+			d := time.Duration(r.Intn(500)) * time.Millisecond
+			switch i % 3 {
+			case 0:
+				timers = append(timers, s.After(d, func() { trace = append(trace, i) }))
+			case 1:
+				s.Schedule(d, func() { trace = append(trace, i) })
+			default:
+				ticks := 0
+				var tm *Timer
+				tm = s.After(d, func() {
+					trace = append(trace, i)
+					ticks++
+					if ticks < 3 {
+						tm.Reset(d + time.Millisecond)
+					}
+				})
+				timers = append(timers, tm)
+			}
+		}
+		for i := 0; i < 80; i++ {
+			tm := timers[r.Intn(len(timers))]
+			if r.Intn(2) == 0 {
+				tm.Stop()
+			} else {
+				tm.Reset(time.Duration(r.Intn(500)) * time.Millisecond)
+			}
+		}
+		s.Run()
+		return trace, s.Executed()
+	}
+	prop := func(seed int64) bool {
+		a, na := run(seed)
+		b, nb := run(seed)
+		if na != nb || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	s := New(1)
 	b.ReportAllocs()
@@ -281,4 +441,37 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
 	}
 	s.Run()
+}
+
+// BenchmarkPeriodicReset measures the steady-state cost of a Reset-driven
+// periodic timer: after warmup it must not allocate.
+func BenchmarkPeriodicReset(b *testing.B) {
+	s := New(1)
+	var tm *Timer
+	tm = s.After(time.Millisecond, func() { tm.Reset(time.Millisecond) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleReusedClosure measures the handle-free path with a
+// reused callback, the message-delivery pattern of transport/simnet.
+func BenchmarkScheduleReusedClosure(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Microsecond, fn)
+		if s.Pending() > 1000 {
+			for s.Pending() > 0 {
+				s.Step()
+			}
+		}
+	}
+	for s.Pending() > 0 {
+		s.Step()
+	}
 }

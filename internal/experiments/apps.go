@@ -28,9 +28,17 @@ func SVTreeGroupSizes(p Params) (*Result, error) {
 		n, subscribers = 200, 25
 	}
 	if p.PaperScale {
+		// The paper's §4 numbers: a 2,000-subscriber tree on a 16,000
+		// node overlay, which needs the paper-scale topology (the default
+		// one has fewer routers than attachment points) and pre-warmed
+		// overlay routes to be tractable.
 		n, subscribers = 16000, 2000
 	}
-	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	netCfg := scaledNetConfig(p.Seed, n)
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed, NetConfig: &netCfg})
+	if p.PaperScale {
+		c.WarmRoutes(nil)
+	}
 
 	svcs := make([]*svtree.Service, len(c.Nodes))
 	for i, nd := range c.Nodes {

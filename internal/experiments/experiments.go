@@ -1,15 +1,21 @@
 // Package experiments contains one driver per table/figure in the
-// paper's evaluation (§7), plus the ablation studies DESIGN.md calls out.
-// Each driver builds a simulated deployment, runs the paper's workload,
-// and returns the same rows/series the paper reports, both as formatted
-// lines and as machine-readable metrics (which the benchmarks assert
-// against).
+// paper's evaluation (§7), plus the ablation studies DESIGN.md calls out
+// and two scale drivers that go beyond the paper's cluster: manygroups
+// (thousands of concurrent groups on a small overlay - the piggyback
+// cost claim pushed to its limit) and paperscale (the §7.3 simulation at
+// its full 16,000-node size, with route warmup and a crash phase that
+// checks one-way agreement at scale). Each driver builds a simulated
+// deployment, runs the paper's workload, and returns the same
+// rows/series the paper reports, both as formatted lines and as
+// machine-readable metrics (which the benchmarks and tests assert
+// against). README.md maps every driver to its paper figure.
 package experiments
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Params scales an experiment.
@@ -25,6 +31,13 @@ type Params struct {
 	// PaperScale runs the large-simulator variants (e.g. the 16,000
 	// node overlay of §7.3) where the driver supports it.
 	PaperScale bool
+	// Groups overrides the number of FUSE groups for drivers with a
+	// group-count workload axis (paperscale, manygroups); 0 means the
+	// driver's default.
+	Groups int
+	// Window overrides the steady-state measurement window for drivers
+	// that have one; 0 means the driver's default.
+	Window time.Duration
 }
 
 func (p Params) nodes(def int) int {
@@ -76,6 +89,7 @@ var registry = map[string]Runner{
 	"fig12":      Fig12FalsePositives,
 	"steady":     SteadyStateLoad,
 	"manygroups": ManyGroupsSteadyState,
+	"paperscale": PaperScaleSimulation,
 	"svtree":     SVTreeGroupSizes,
 	"swimcmp":    SwimComparison,
 	"ablation":   AblationTopologies,

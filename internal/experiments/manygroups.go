@@ -26,6 +26,12 @@ func ManyGroupsSteadyState(p Params) (*Result, error) {
 	if p.PaperScale {
 		groups = 10000
 	}
+	if p.Groups > 0 {
+		groups = p.Groups
+	}
+	if p.Window > 0 {
+		window = p.Window
+	}
 
 	c := paperCluster(p, n)
 	if _, err := createGroups(c, groups, size, nil); err != nil {

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fuse/internal/cluster"
+	"fuse/internal/core"
+	"fuse/internal/netmodel"
+	"fuse/internal/stats"
+	"fuse/internal/transport/simnet"
+)
+
+// PaperScaleSimulation is the §7.3 scalability run: the paper validates
+// FUSE "using overlay sizes of up to 16,000 nodes" on its packet-level
+// simulator and reports that behaviour matches the 400-node cluster. This
+// driver builds that overlay on the Mercator-substitute paper-scale
+// topology (~104k routers), installs a proportional population of small
+// groups (the regime §4's SVTree workload produces), and measures three
+// things: the steady-state background message rate (which must stay at
+// overlay-ping levels - the piggyback claim at 40x the cluster's scale),
+// the notification behaviour after a multi-node failure (every live
+// member of an affected group hears exactly one notification), and the
+// simulator's own throughput in virtual seconds per wall second, the
+// yardstick the eventsim/simnet hot paths are engineered against.
+//
+// Short runs a 1,000-node scaled-down variant on the default topology,
+// used by `go test` and CI; the assertions are identical.
+func PaperScaleSimulation(p Params) (*Result, error) {
+	n := 16000
+	if p.Short {
+		n = 1000
+	}
+	if p.Nodes > 0 {
+		n = p.Nodes
+	}
+	groups, size := n/8, 5
+	if p.Groups > 0 {
+		groups = p.Groups
+	}
+	window := 5 * time.Minute
+	if p.Short {
+		window = 3 * time.Minute
+	}
+	if p.Window > 0 {
+		window = p.Window
+	}
+	// Crash 1% of the overlay at once (the paper's Figure 9 disconnects
+	// 10 of 400 nodes; 1% keeps the affected-group population meaningful
+	// as n grows without provoking an unrealistic repair storm).
+	kill := n / 100
+	if kill < 4 {
+		kill = 4
+	}
+	if kill > 64 {
+		kill = 64
+	}
+
+	setup := time.Now()
+	c := scaledCluster(p, n)
+	rng := c.Sim.Rand()
+
+	// Pick every group's membership up front so route warmup can cover
+	// the root<->member pairs the create/repair/notify protocols use
+	// alongside the overlay's own links. A reused partial Fisher-Yates
+	// scratch draws each group at O(size), where rng.Perm(n) per group
+	// would shuffle (and allocate) all n indices to use five of them.
+	scratch := make([]int, n)
+	for i := range scratch {
+		scratch[i] = i
+	}
+	pick := func(k int) []int {
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(n-i)
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+		}
+		out := make([]int, k)
+		copy(out, scratch[:k])
+		return out
+	}
+	memberships := make([][]int, groups)
+	var extra [][2]int
+	for g := range memberships {
+		perm := pick(size)
+		memberships[g] = perm
+		for _, m := range perm[1:] {
+			extra = append(extra, [2]int{perm[0], m})
+		}
+	}
+	c.WarmRoutes(extra)
+	warmWall := time.Since(setup)
+
+	createStart := time.Now()
+	made := make([]madeGroup, 0, groups)
+	for g, perm := range memberships {
+		id, err := c.CreateGroup(perm[0], perm[1:]...)
+		if err != nil {
+			return nil, fmt.Errorf("paperscale: group %d (size %d): %w", g, size, err)
+		}
+		made = append(made, madeGroup{id: id, root: perm[0], members: perm})
+	}
+	createWall := time.Since(createStart)
+
+	c.Sim.RunFor(2 * time.Minute) // drain creation and install traffic
+
+	var pairs, timers int
+	for _, nd := range c.Nodes {
+		_, np, nt := nd.Fuse.CheckingStats()
+		pairs += np
+		timers += nt
+	}
+
+	// Steady-state measurement window.
+	baseSent := c.Net.Sent()
+	baseExec := c.Sim.Executed()
+	wall := time.Now()
+	c.Sim.RunFor(window)
+	elapsed := time.Since(wall)
+	msgRate := float64(c.Net.Sent()-baseSent) / window.Seconds()
+	simSpeed := window.Seconds() / elapsed.Seconds()
+	evRate := float64(c.Sim.Executed()-baseExec) / elapsed.Seconds()
+
+	// Failure phase: crash nodes together (the paper disconnects whole
+	// machines) and check one-way agreement at scale - every live member
+	// of an affected group hears the notification exactly once.
+	crashed := make(map[int]bool, kill)
+	counts := make(map[int]map[core.GroupID]int)
+	var crashAt time.Time
+	lat := stats.NewSample(0)
+	for _, g := range made {
+		for _, m := range g.members {
+			m, id := m, g.id
+			c.Nodes[m].Fuse.RegisterFailureHandler(func(core.Notice) {
+				if crashed[m] || crashAt.IsZero() {
+					return
+				}
+				if counts[m] == nil {
+					counts[m] = make(map[core.GroupID]int)
+				}
+				counts[m][id]++
+				lat.Add(c.Sim.Now().Sub(crashAt).Seconds())
+			}, id)
+		}
+	}
+	for _, v := range pick(kill) {
+		crashed[v] = true
+	}
+	crashAt = c.Sim.Now()
+	for v := range crashed {
+		c.Crash(v)
+	}
+	c.Sim.RunFor(10 * time.Minute)
+
+	expected := expectedLiveMembers(made, crashed)
+	duplicates := 0
+	for _, per := range counts {
+		for _, k := range per {
+			if k > 1 {
+				duplicates += k - 1
+			}
+		}
+	}
+
+	r := newResult("paperscale", fmt.Sprintf(
+		"§7.3 paper-scale simulation: %d nodes, %d groups of %d, %d crashed", n, groups, size, kill))
+	r.addLine("setup: route warmup %.1fs wall, %d groups created in %.1fs wall",
+		warmWall.Seconds(), groups, createWall.Seconds())
+	r.addLine("steady state:  %10.1f msg/s background  (%d monitored pairs, %d shared timers)",
+		msgRate, pairs, timers)
+	r.addLine("sim throughput: %9.1f virtual s / wall s  (%.0f events/s wall)", simSpeed, evRate)
+	r.addLine("crash notify:  %d/%d live members notified, %d duplicates", lat.N(), expected, duplicates)
+	r.addLine("notify latency: median %.1f s  p90 %.1f s  max %.1f s (paper: ping+repair timeouts dominate)",
+		lat.Median(), lat.Percentile(90), lat.Max())
+	r.metric("nodes", float64(n))
+	r.metric("groups", float64(groups))
+	r.metric("msg_per_s", msgRate)
+	r.metric("sim_speed", simSpeed)
+	r.metric("events_per_wall_s", evRate)
+	r.metric("checked_pairs", float64(pairs))
+	r.metric("check_timers", float64(timers))
+	r.metric("notifications", float64(lat.N()))
+	r.metric("expected", float64(expected))
+	r.metric("duplicates", float64(duplicates))
+	r.metric("notify_median_s", lat.Median())
+	r.metric("notify_max_s", lat.Max())
+	return r, nil
+}
+
+// scaledNetConfig picks the topology for an n-node overlay: the default
+// one while it has routers to spare, the paper-scale Mercator substitute
+// once the overlay outgrows it.
+func scaledNetConfig(seed int64, n int) netmodel.Config {
+	cfg := netmodel.DefaultConfig(seed)
+	if n > cfg.ASes*cfg.RoutersPer {
+		cfg = netmodel.PaperScaleConfig(seed)
+	}
+	return cfg
+}
+
+// scaledCluster builds a deployment with the paper's messaging-layer
+// overheads on the topology scaledNetConfig selects.
+func scaledCluster(p Params, n int) *cluster.Cluster {
+	netCfg := scaledNetConfig(p.Seed, n)
+	opts := simnet.DefaultOptions()
+	return cluster.New(cluster.Options{
+		N:          n,
+		Seed:       p.Seed,
+		NetConfig:  &netCfg,
+		SimOptions: &opts,
+	})
+}

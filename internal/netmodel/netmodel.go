@@ -15,9 +15,10 @@
 package netmodel
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -116,15 +117,35 @@ type link struct {
 	class   LinkClass
 }
 
-// Topology is an immutable router graph plus a per-source shortest-path
-// cache. It is not safe for concurrent use.
+// Topology is an immutable router graph plus two path caches: a memo of
+// answered (src, dst) queries (exact, never evicted - the working set of
+// a simulation is the pairs its nodes actually talk over) and a bounded
+// pool of full single-source shortest-path trees (a paper-scale topology
+// has ~104k routers, so a tree costs ~2 MB; an unbounded per-source
+// cache at 16,000 attachment points would be tens of GB). WarmRoutes
+// bulk-fills the pair memo with parallel sweeps. Aside from WarmRoutes,
+// the Topology is not safe for concurrent use.
 type Topology struct {
 	cfg      Config
 	adj      [][]link
 	numLinks int
 	t3Links  int
 
-	cache map[RouterID]*pathTree
+	pairs      map[pairKey]Path
+	cache      map[RouterID]*pathTree
+	cacheOrder []RouterID // FIFO eviction order for cache
+	maxTrees   int
+}
+
+// pairKey is an unordered router pair (the graph is undirected, so paths
+// are symmetric).
+type pairKey struct{ a, b RouterID }
+
+func mkPair(x, y RouterID) pairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return pairKey{x, y}
 }
 
 // pathTree holds single-source shortest-path results.
@@ -155,7 +176,19 @@ func Generate(cfg Config) *Topology {
 	t := &Topology{
 		cfg:   cfg,
 		adj:   make([][]link, n),
+		pairs: make(map[pairKey]Path),
 		cache: make(map[RouterID]*pathTree),
+	}
+	// Bound the tree pool by a ~64 MB memory budget so small topologies
+	// keep effectively unlimited trees and paper-scale ones stay cheap.
+	const treeBudget = 64 << 20
+	bytesPerTree := n * 20 // latency (8) + hops (4, padded) + deliver (8)
+	t.maxTrees = treeBudget / bytesPerTree
+	if t.maxTrees < 16 {
+		t.maxTrees = 16
+	}
+	if t.maxTrees > 1024 {
+		t.maxTrees = 1024
 	}
 
 	uniform := func(lo, hi time.Duration) time.Duration {
@@ -283,23 +316,145 @@ func (t *Topology) AttachPoints(n int, rng *rand.Rand) []RouterID {
 	return out
 }
 
-// Path returns the latency-shortest route between two routers. Results are
-// cached per source router. Path(a, a) is the zero Path.
+// Path returns the latency-shortest route between two routers. Answered
+// pairs are memoized exactly; full source trees are pooled with FIFO
+// eviction under the memory budget. Path(a, a) is the zero Path.
 func (t *Topology) Path(from, to RouterID) Path {
 	if from == to {
 		return Path{}
+	}
+	k := mkPair(from, to)
+	if p, ok := t.pairs[k]; ok {
+		return p
 	}
 	tree := t.cache[from]
 	if tree == nil {
 		// A cached tree from the destination answers the same query:
 		// the graph is undirected so distances are symmetric.
 		if rev := t.cache[to]; rev != nil {
-			return rev.path(from)
+			tree, to = rev, from
+		} else {
+			tree = newSweep(len(t.adj)).run(t, from)
+			t.insertTree(from, tree)
 		}
-		tree = t.dijkstra(from)
-		t.cache[from] = tree
 	}
-	return tree.path(to)
+	p := tree.path(to)
+	t.pairs[k] = p
+	return p
+}
+
+// insertTree pools a computed source tree, evicting the oldest beyond the
+// budget. Evictions lose nothing exact: every answered query stays in the
+// pair memo.
+func (t *Topology) insertTree(src RouterID, tree *pathTree) {
+	if len(t.cache) >= t.maxTrees {
+		old := t.cacheOrder[0]
+		t.cacheOrder = t.cacheOrder[1:]
+		delete(t.cache, old)
+	}
+	t.cache[src] = tree
+	t.cacheOrder = append(t.cacheOrder, src)
+}
+
+// WarmRoutes computes and memoizes the paths for the given router pairs,
+// running up to workers single-source sweeps concurrently (the graph is
+// immutable; each sweep has private state). Large simulations call this
+// once with every pair their overlay links will use: one sweep per
+// distinct source resolves all of that source's pairs, where resolving
+// them lazily through Path would recompute sweeps as trees rotate out of
+// the bounded pool. Results are identical to Path's, and the memo insert
+// order is deterministic. WarmRoutes must not run concurrently with Path.
+func (t *Topology) WarmRoutes(routePairs [][2]RouterID, workers int) {
+	// Group unresolved pairs by endpoint, then greedily sweep sources
+	// with the most unresolved pairs first so most pairs are answered by
+	// one of their two endpoints' single sweep.
+	need := make(map[pairKey]bool)
+	for _, rp := range routePairs {
+		if rp[0] == rp[1] {
+			continue
+		}
+		k := mkPair(rp[0], rp[1])
+		if _, done := t.pairs[k]; !done {
+			need[k] = true
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	bySrc := make(map[RouterID][]RouterID)
+	for k := range need {
+		bySrc[k.a] = append(bySrc[k.a], k.b)
+		bySrc[k.b] = append(bySrc[k.b], k.a)
+	}
+	srcs := make([]RouterID, 0, len(bySrc))
+	for src := range bySrc {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if len(bySrc[srcs[i]]) != len(bySrc[srcs[j]]) {
+			return len(bySrc[srcs[i]]) > len(bySrc[srcs[j]])
+		}
+		return srcs[i] < srcs[j]
+	})
+
+	type task struct {
+		src  RouterID
+		dsts []RouterID
+	}
+	var tasks []task
+	for _, src := range srcs {
+		var dsts []RouterID
+		for _, dst := range bySrc[src] {
+			if need[mkPair(src, dst)] {
+				dsts = append(dsts, dst)
+				delete(need, mkPair(src, dst))
+			}
+		}
+		if len(dsts) > 0 {
+			sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+			tasks = append(tasks, task{src: src, dsts: dsts})
+		}
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	type answer struct {
+		k pairKey
+		p Path
+	}
+	answers := make([][]answer, len(tasks))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sw := newSweep(len(t.adj))
+			for i := range next {
+				tk := tasks[i]
+				tree := sw.run(t, tk.src)
+				out := make([]answer, len(tk.dsts))
+				for j, dst := range tk.dsts {
+					out[j] = answer{k: mkPair(tk.src, dst), p: tree.path(dst)}
+				}
+				answers[i] = out
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, out := range answers {
+		for _, a := range out {
+			t.pairs[a.k] = a.p
+		}
+	}
 }
 
 func (pt *pathTree) path(to RouterID) Path {
@@ -310,42 +465,13 @@ func (pt *pathTree) path(to RouterID) Path {
 	}
 }
 
-// dijkstra computes single-source shortest paths by latency. Loss and hop
-// count are accumulated along the chosen shortest-latency tree, matching
-// how a routing protocol would pin one route per destination.
-func (t *Topology) dijkstra(src RouterID) *pathTree {
-	n := len(t.adj)
-	const inf = time.Duration(1<<63 - 1)
-	pt := &pathTree{
-		latency: make([]time.Duration, n),
-		hops:    make([]int32, n),
-		deliver: make([]float64, n),
-	}
-	for i := range pt.latency {
-		pt.latency[i] = inf
-	}
-	pt.latency[src] = 0
-	pt.deliver[src] = 1
-	pq := &distHeap{{router: src, dist: 0}}
-	done := make([]bool, n)
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(distItem)
-		u := item.router
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		for _, e := range t.adj[u] {
-			alt := pt.latency[u] + e.latency
-			if alt < pt.latency[e.to] {
-				pt.latency[e.to] = alt
-				pt.hops[e.to] = pt.hops[u] + 1
-				pt.deliver[e.to] = pt.deliver[u] * (1 - t.cfg.LinkLoss)
-				heap.Push(pq, distItem{router: e.to, dist: alt})
-			}
-		}
-	}
-	return pt
+// sweep is the reusable working state of one single-source shortest-path
+// computation: result arrays plus a typed binary heap (no interface
+// boxing, no per-run allocation after the first).
+type sweep struct {
+	pt   pathTree
+	done []bool
+	pq   []distItem
 }
 
 type distItem struct {
@@ -353,10 +479,89 @@ type distItem struct {
 	dist   time.Duration
 }
 
-type distHeap []distItem
+func newSweep(n int) *sweep {
+	return &sweep{
+		pt: pathTree{
+			latency: make([]time.Duration, n),
+			hops:    make([]int32, n),
+			deliver: make([]float64, n),
+		},
+		done: make([]bool, n),
+		pq:   make([]distItem, 0, 1024),
+	}
+}
 
-func (h distHeap) Len() int           { return len(h) }
-func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+// run computes single-source shortest paths by latency. Loss and hop
+// count are accumulated along the chosen shortest-latency tree, matching
+// how a routing protocol would pin one route per destination. The
+// returned tree aliases the sweep's buffers until the next run, so run's
+// caller must copy or finish with it first; Path's tree pool therefore
+// uses a fresh sweep per pooled tree.
+func (sw *sweep) run(t *Topology, src RouterID) *pathTree {
+	const inf = time.Duration(1<<63 - 1)
+	pt := &sw.pt
+	for i := range pt.latency {
+		pt.latency[i] = inf
+		pt.hops[i] = 0
+		pt.deliver[i] = 0
+		sw.done[i] = false
+	}
+	pt.latency[src] = 0
+	pt.deliver[src] = 1
+	sw.pq = append(sw.pq[:0], distItem{router: src, dist: 0})
+	for len(sw.pq) > 0 {
+		item := sw.popMin()
+		u := item.router
+		if sw.done[u] {
+			continue
+		}
+		sw.done[u] = true
+		for _, e := range t.adj[u] {
+			alt := pt.latency[u] + e.latency
+			if alt < pt.latency[e.to] {
+				pt.latency[e.to] = alt
+				pt.hops[e.to] = pt.hops[u] + 1
+				pt.deliver[e.to] = pt.deliver[u] * (1 - t.cfg.LinkLoss)
+				sw.push(distItem{router: e.to, dist: alt})
+			}
+		}
+	}
+	return pt
+}
+
+func (sw *sweep) push(it distItem) {
+	sw.pq = append(sw.pq, it)
+	i := len(sw.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sw.pq[parent].dist <= sw.pq[i].dist {
+			break
+		}
+		sw.pq[parent], sw.pq[i] = sw.pq[i], sw.pq[parent]
+		i = parent
+	}
+}
+
+func (sw *sweep) popMin() distItem {
+	top := sw.pq[0]
+	last := len(sw.pq) - 1
+	sw.pq[0] = sw.pq[last]
+	sw.pq = sw.pq[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && sw.pq[l].dist < sw.pq[small].dist {
+			small = l
+		}
+		if r < last && sw.pq[r].dist < sw.pq[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		sw.pq[i], sw.pq[small] = sw.pq[small], sw.pq[i]
+		i = small
+	}
+	return top
+}

@@ -223,6 +223,55 @@ func TestPathBoundsProperty(t *testing.T) {
 	}
 }
 
+// TestWarmRoutesMatchesPath checks that the bulk parallel warmup
+// memoizes exactly what lazy Path queries would answer.
+func TestWarmRoutesMatchesPath(t *testing.T) {
+	warm := testTopology(t, 14)
+	lazy := testTopology(t, 14)
+	rng := rand.New(rand.NewSource(31))
+	pts := warm.AttachPoints(60, rng)
+	var pairs [][2]RouterID
+	for i := range pts {
+		for j := 1; j <= 4; j++ {
+			pairs = append(pairs, [2]RouterID{pts[i], pts[(i+j)%len(pts)]})
+		}
+	}
+	pairs = append(pairs, [2]RouterID{pts[0], pts[0]}) // self pair is a no-op
+	warm.WarmRoutes(pairs, 4)
+	for _, pr := range pairs {
+		if got, want := warm.Path(pr[0], pr[1]), lazy.Path(pr[0], pr[1]); got != want {
+			t.Fatalf("warmed path %v->%v = %+v, lazy = %+v", pr[0], pr[1], got, want)
+		}
+	}
+	// Warming twice is a no-op.
+	warm.WarmRoutes(pairs, 2)
+}
+
+// TestBoundedTreeCacheStaysExact drives more distinct sources than the
+// tree pool holds and checks answers stay identical to a fresh topology's:
+// eviction may cost recomputation but never correctness.
+func TestBoundedTreeCacheStaysExact(t *testing.T) {
+	a := testTopology(t, 15)
+	a.maxTrees = 4 // force heavy eviction
+	b := testTopology(t, 15)
+	rng := rand.New(rand.NewSource(37))
+	pts := a.AttachPoints(40, rng)
+	for round := 0; round < 3; round++ {
+		for i := range pts {
+			x, y := pts[i], pts[(i+round+1)%len(pts)]
+			if x == y {
+				continue
+			}
+			if got, want := a.Path(x, y), b.Path(x, y); got != want {
+				t.Fatalf("path %v->%v = %+v under eviction, want %+v", x, y, got, want)
+			}
+		}
+	}
+	if len(a.cache) > a.maxTrees {
+		t.Fatalf("tree cache grew to %d, bound %d", len(a.cache), a.maxTrees)
+	}
+}
+
 func BenchmarkPathQuery(b *testing.B) {
 	topo := Generate(DefaultConfig(1))
 	rng := rand.New(rand.NewSource(1))

@@ -95,19 +95,24 @@ func (n *Node) removeRef(addr transport.Addr) bool {
 
 // --- liveness pings ---
 
+// pingState drives liveness checking of one neighbor with a single timer
+// and a two-phase cycle: send a ping and wait PingTimeout for the ack,
+// then (if the ack came) sleep out the rest of PingInterval and send
+// again. The one timer is re-armed in place from its own callback via the
+// transport's reschedule support, so steady-state pinging reuses one
+// pooled event per neighbor instead of allocating send and timeout timers
+// every period.
 type pingState struct {
-	ref     NodeRef
-	seq     uint64
-	sendT   transport.Timer
-	timeout transport.Timer
+	ref      NodeRef
+	seq      uint64 // seq of the last ping sent
+	ackSeq   uint64 // seq of the last matching ack received
+	awaiting bool   // between a send and its ack deadline
+	timer    transport.Timer
 }
 
 func (ps *pingState) stopTimers() {
-	if ps.sendT != nil {
-		ps.sendT.Stop()
-	}
-	if ps.timeout != nil {
-		ps.timeout.Stop()
+	if ps.timer != nil {
+		ps.timer.Stop()
 	}
 }
 
@@ -142,25 +147,41 @@ func (n *Node) syncPings() {
 		// overlay's background load is smooth, as a deployed system's
 		// would be.
 		phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.PingInterval) + 1))
-		ps.sendT = n.env.After(phase, func() { n.sendPing(ps) })
+		ps.timer = n.env.After(phase, func() { n.pingTick(ps) })
 	}
 }
 
-func (n *Node) sendPing(ps *pingState) {
+// pingTick advances a neighbor's ping cycle: either the next ping is due,
+// or the previous ping's ack deadline has arrived.
+func (n *Node) pingTick(ps *pingState) {
 	if n.stopped || n.pings[ps.ref.Addr] != ps {
 		return
 	}
-	ps.seq++
-	seq := ps.seq
-	payload := n.client.PingPayload(ps.ref)
-	n.env.Send(ps.ref.Addr, msgPing{From: n.self, Seq: seq, Payload: payload})
-	if ps.timeout != nil {
-		ps.timeout.Stop()
+	if ps.awaiting {
+		ps.awaiting = false
+		if ps.ackSeq != ps.seq {
+			n.neighborDead(ps.ref)
+			return
+		}
+		// Ack arrived in time: sleep until PingInterval after the send.
+		n.rearm(ps, n.cfg.PingInterval-n.cfg.PingTimeout)
+		return
 	}
-	ps.timeout = n.env.After(n.cfg.PingTimeout, func() {
-		n.neighborDead(ps.ref)
-	})
-	ps.sendT = n.env.After(n.cfg.PingInterval, func() { n.sendPing(ps) })
+	ps.seq++
+	payload := n.client.PingPayload(ps.ref)
+	n.env.Send(ps.ref.Addr, msgPing{From: n.self, Seq: ps.seq, Payload: payload})
+	ps.awaiting = true
+	n.rearm(ps, n.cfg.PingTimeout)
+}
+
+// rearm schedules the next pingTick, reusing the existing timer when the
+// transport supports in-place reset (always, from within the timer's own
+// callback) and allocating a fresh one otherwise.
+func (n *Node) rearm(ps *pingState, d time.Duration) {
+	if ps.timer != nil && transport.ResetTimer(ps.timer, d) {
+		return
+	}
+	ps.timer = n.env.After(d, func() { n.pingTick(ps) })
 }
 
 func (n *Node) handlePing(m msgPing) {
@@ -173,10 +194,7 @@ func (n *Node) handlePingAck(m msgPingAck) {
 	if !ok || m.Seq != ps.seq {
 		return
 	}
-	if ps.timeout != nil {
-		ps.timeout.Stop()
-		ps.timeout = nil
-	}
+	ps.ackSeq = m.Seq
 }
 
 // neighborDead handles a failed liveness check: report to the client,

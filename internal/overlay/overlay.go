@@ -20,6 +20,13 @@
 // message stops at the destination's predecessor, which triggers the
 // route-dead upcall (the paper relies on this to detect "no next hop for
 // an InstallChecking message").
+//
+// Liveness checking drives one state-machine timer per neighbor (send
+// ping, await ack, sleep out the interval) that re-arms itself in place
+// via the transport's reschedule support, so a 16,000-node overlay's
+// hundreds of thousands of ping timers run without steady-state
+// allocation. First pings are phase-staggered uniformly over the
+// interval, keeping background load smooth at any scale.
 package overlay
 
 import (

@@ -15,6 +15,15 @@
 // The package also provides the fault injection the experiments need:
 // node crash and restart, directional link blocking (for intransitive
 // connectivity), and full partitions.
+//
+// The send path is engineered for paper-scale overlays (16,000 nodes
+// exchanging hundreds of thousands of pings per virtual minute): every
+// node keeps an indexed per-destination route cache (resolved endpoint
+// plus the topology path, so steady-state sends do no topology queries),
+// deliveries are pooled objects with reused callback closures handed to
+// the simulator's handle-free Schedule path, and the fault-rule table is
+// only consulted when rules exist. After warmup, a send allocates nothing
+// beyond the message value itself.
 package simnet
 
 import (
@@ -67,6 +76,10 @@ type Net struct {
 	nodes map[transport.Addr]*node
 	rules map[rulePair]rule
 
+	// freeDeliveries pools in-flight delivery records; each carries a
+	// closure built once and reused for every message it ferries.
+	freeDeliveries []*delivery
+
 	sent      uint64
 	delivered uint64
 	dropped   uint64
@@ -103,15 +116,72 @@ func (n *Net) Sim() *eventsim.Sim { return n.sim }
 
 // node implements transport.Env for one simulated endpoint.
 type node struct {
-	net      *Net
-	addr     transport.Addr
-	router   netmodel.RouterID
-	handler  transport.Handler
-	rng      *rand.Rand
-	crashed  bool
-	epoch    uint64 // incremented on restart; stale callbacks are dropped
-	nextFree time.Time
+	net     *Net
+	addr    transport.Addr
+	router  netmodel.RouterID
+	handler transport.Handler
+	rng     *rand.Rand
+	crashed bool
+	epoch   uint64 // incremented on restart; stale callbacks are dropped
+	// nextFree is when the sender-side serialization queue drains, as an
+	// offset from the simulation epoch (plain integer arithmetic on the
+	// send path, no time.Time).
+	nextFree time.Duration
 	logf     func(format string, args ...any)
+
+	// routes caches resolved destinations: the endpoint object and the
+	// topology path to it. Attachment points never move (Restart keeps the
+	// router), so entries stay valid for the life of the network.
+	routes map[transport.Addr]route
+}
+
+// route is one resolved destination in a node's send cache.
+type route struct {
+	dst  *node
+	path netmodel.Path
+}
+
+// delivery is a pooled in-flight message. Its run closure is built once
+// and reused, so the per-send scheduling cost is one pooled event and
+// zero allocations.
+type delivery struct {
+	net   *Net
+	from  transport.Addr
+	dst   *node
+	msg   any
+	epoch uint64
+	run   func()
+}
+
+func (n *Net) newDelivery() *delivery {
+	if k := len(n.freeDeliveries); k > 0 {
+		d := n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		return d
+	}
+	d := &delivery{net: n}
+	d.run = d.deliver
+	return d
+}
+
+// deliver hands the message to the destination's handler (or counts a
+// drop) and recycles the record. Recycling happens before the handler
+// runs so that sends made from within it reuse this same record.
+func (d *delivery) deliver() {
+	net := d.net
+	dst, from, msg, epoch := d.dst, d.from, d.msg, d.epoch
+	d.dst, d.msg = nil, nil
+	net.freeDeliveries = append(net.freeDeliveries, d)
+	if dst.crashed || dst.epoch != epoch || dst.handler == nil {
+		net.dropped++
+		return
+	}
+	net.delivered++
+	if net.OnDeliver != nil {
+		net.OnDeliver(from, dst.addr, msg)
+	}
+	dst.handler(from, msg)
 }
 
 // AddNode attaches a new endpoint at the given router. The returned Env is
@@ -125,8 +195,9 @@ func (n *Net) AddNode(addr transport.Addr, router netmodel.RouterID) transport.E
 		addr:   addr,
 		router: router,
 		rng:    rand.New(rand.NewSource(n.sim.Rand().Int63())),
+		routes: make(map[transport.Addr]route),
 	}
-	nd.nextFree = n.sim.Now()
+	nd.nextFree = n.sim.Elapsed()
 	n.nodes[addr] = nd
 	return nd
 }
@@ -153,7 +224,7 @@ func (n *Net) Restart(addr transport.Addr) transport.Env {
 	nd.crashed = false
 	nd.epoch++
 	nd.handler = nil
-	nd.nextFree = n.sim.Now()
+	nd.nextFree = n.sim.Elapsed()
 	return nd
 }
 
@@ -261,35 +332,40 @@ func (nd *node) Send(to transport.Addr, msg any) {
 	if nd.crashed {
 		return
 	}
-	dst, ok := net.nodes[to]
+	rt, ok := nd.routes[to]
 	if !ok {
-		net.dropped++
-		return
+		dst, exists := net.nodes[to]
+		if !exists {
+			net.dropped++
+			return
+		}
+		rt = route{dst: dst, path: net.topo.Path(nd.router, dst.router)}
+		nd.routes[to] = rt
 	}
 	net.sent++
 
-	r := net.rules[rulePair{nd.addr, to}]
-	if r.block {
-		net.dropped++
-		return
+	loss := rt.path.Loss
+	if len(net.rules) > 0 {
+		r := net.rules[rulePair{nd.addr, to}]
+		if r.block {
+			net.dropped++
+			return
+		}
+		if r.hasLoss {
+			loss = r.loss
+		}
 	}
 
 	// Sender-side serialization: messages leave one at a time, each
 	// paying SendOverhead. This serial queue is what the paper's Figure 8
 	// attributes its group-size dependence to.
-	now := net.sim.Now()
+	now := net.sim.Elapsed()
 	depart := now
-	if nd.nextFree.After(depart) {
+	if nd.nextFree > depart {
 		depart = nd.nextFree
 	}
-	depart = depart.Add(net.opts.SendOverhead)
+	depart += net.opts.SendOverhead
 	nd.nextFree = depart
-
-	path := net.topo.Path(nd.router, dst.router)
-	loss := path.Loss
-	if r.hasLoss {
-		loss = r.loss
-	}
 
 	// TCP-like retransmission: each attempt independently succeeds with
 	// probability 1-loss; exhausting the attempts breaks the connection
@@ -310,19 +386,9 @@ func (nd *node) Send(to transport.Addr, msg any) {
 		return
 	}
 
-	arrival := depart.Add(path.Latency + retryDelay + net.opts.DeliverOverhead)
-	dstEpoch := dst.epoch
-	net.sim.At(arrival, func() {
-		if dst.crashed || dst.epoch != dstEpoch || dst.handler == nil {
-			net.dropped++
-			return
-		}
-		net.delivered++
-		if net.OnDeliver != nil {
-			net.OnDeliver(nd.addr, to, msg)
-		}
-		dst.handler(nd.addr, msg)
-	})
+	dl := net.newDelivery()
+	dl.from, dl.dst, dl.msg, dl.epoch = nd.addr, rt.dst, msg, rt.dst.epoch
+	net.sim.Schedule(depart-now+rt.path.Latency+retryDelay+net.opts.DeliverOverhead, dl.run)
 }
 
 var _ transport.Env = (*node)(nil)

@@ -10,7 +10,10 @@
 //
 // Each node runs a single mailbox goroutine that serializes message
 // handling and timer callbacks, giving protocol code the same
-// single-threaded execution model as the simulated transport.
+// single-threaded execution model as the simulated transport. Timers
+// support the transport.Resetter reschedule contract, so the periodic
+// protocol timers written against it (overlay pings, FUSE check
+// deadlines) run identically here and in simulation.
 package tcpnet
 
 import (
@@ -141,9 +144,35 @@ func (n *Node) Logf(format string, args ...any) {
 	}
 }
 
+// liveTimer implements Timer and Resetter over time.AfterFunc. Each arm
+// (the initial After and every Reset) carries its own generation; a fire
+// posted to the mailbox by an earlier arm fails the generation check and
+// is discarded, so resetting a timer whose old expiry is already in
+// flight cannot deliver a stale callback. gen and stopped are only
+// written from the mailbox goroutine; the AfterFunc goroutine merely
+// posts.
 type liveTimer struct {
+	n       *Node
+	fn      func()
 	t       *time.Timer
+	gen     atomic.Uint64
 	stopped atomic.Bool
+	firing  bool // true while fn executes; mailbox-only access
+}
+
+func (lt *liveTimer) arm(d time.Duration) {
+	gen := lt.gen.Add(1)
+	lt.t = time.AfterFunc(d, func() {
+		lt.n.post(func() {
+			if lt.stopped.Load() || lt.gen.Load() != gen {
+				return
+			}
+			lt.stopped.Store(true)
+			lt.firing = true
+			lt.fn()
+			lt.firing = false
+		})
+	})
 }
 
 func (lt *liveTimer) Stop() bool {
@@ -153,18 +182,29 @@ func (lt *liveTimer) Stop() bool {
 	return lt.t.Stop()
 }
 
+// Reset re-arms the timer to fire d from now with its original callback,
+// matching the simulated transport's Resetter semantics: it succeeds
+// while the timer is pending and from within the timer's own callback,
+// and reports false once the timer was stopped or its callback has
+// completed. Like every Env method it must only be called from the
+// node's mailbox (a callback or message handler), which serializes it
+// with the generation check in the fire path.
+func (lt *liveTimer) Reset(d time.Duration) bool {
+	if lt.stopped.Load() && !lt.firing {
+		return false
+	}
+	lt.t.Stop()
+	lt.stopped.Store(false)
+	lt.arm(d) // new generation invalidates any in-flight posted fire
+	return true
+}
+
+var _ transport.Resetter = (*liveTimer)(nil)
+
 // After schedules fn on the mailbox goroutine after d.
 func (n *Node) After(d time.Duration, fn func()) transport.Timer {
-	lt := &liveTimer{}
-	lt.t = time.AfterFunc(d, func() {
-		n.post(func() {
-			if lt.stopped.Load() {
-				return
-			}
-			lt.stopped.Store(true)
-			fn()
-		})
-	})
+	lt := &liveTimer{n: n, fn: fn}
+	lt.arm(d)
 	return lt
 }
 

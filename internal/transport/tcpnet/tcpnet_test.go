@@ -247,6 +247,65 @@ func TestTimerStopPreventsFire(t *testing.T) {
 	}
 }
 
+// TestTimerResetSemantics pins the transport.Resetter contract shared
+// with the simulated transport: Reset succeeds while pending and from
+// within the timer's own callback (making a periodic timer), and reports
+// false once the timer was stopped or its callback completed.
+func TestTimerResetSemantics(t *testing.T) {
+	a := newNode(t, 1)
+
+	// Pending: Reset moves the deadline and the timer still fires once.
+	fired := make(chan struct{}, 4)
+	tm := a.After(time.Hour, func() { fired <- struct{}{} })
+	if !transport.ResetTimer(tm, 20*time.Millisecond) {
+		t.Fatal("Reset on pending timer reported false")
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reset timer did not fire")
+	}
+
+	// Completed (no reset from within the callback): Reset reports false.
+	if transport.ResetTimer(tm, time.Millisecond) {
+		t.Fatal("Reset after completed fire reported true")
+	}
+
+	// Stopped: Reset reports false and nothing fires.
+	tm2 := a.After(time.Hour, func() { fired <- struct{}{} })
+	tm2.Stop()
+	if transport.ResetTimer(tm2, time.Millisecond) {
+		t.Fatal("Reset after Stop reported true")
+	}
+
+	// From within the own callback: Reset re-arms, the classic periodic
+	// pattern.
+	ticks := make(chan struct{}, 8)
+	var tm3 transport.Timer
+	count := 0
+	tm3 = a.After(10*time.Millisecond, func() {
+		count++
+		ticks <- struct{}{}
+		if count < 3 {
+			if !transport.ResetTimer(tm3, 10*time.Millisecond) {
+				t.Error("Reset from own callback reported false")
+			}
+		}
+	})
+	for i := 0; i < 3; i++ {
+		select {
+		case <-ticks:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("periodic tick %d never fired", i+1)
+		}
+	}
+	select {
+	case <-ticks:
+		t.Fatal("timer fired after its final, un-reset callback")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
 func TestHandlerCallbacksSerialized(t *testing.T) {
 	a := newNode(t, 1)
 	b := newNode(t, 2)

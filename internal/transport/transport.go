@@ -35,6 +35,29 @@ type Timer interface {
 	Stop() bool
 }
 
+// Resetter is optionally implemented by Timers that can be re-armed in
+// place with their original callback. Periodic protocol timers (overlay
+// pings, FUSE check deadlines) use it through ResetTimer so the simulated
+// transport can reuse one pooled event per timer instead of allocating a
+// fresh one every period.
+type Resetter interface {
+	// Reset re-arms the timer to fire d from now, reporting whether it
+	// succeeded. Implementations must support being called both while the
+	// timer is pending and from within the timer's own callback.
+	Reset(d time.Duration) bool
+}
+
+// ResetTimer re-arms t for d when its implementation supports in-place
+// reset, reporting whether it did. On false the caller schedules a fresh
+// timer with Env.After; protocol code is thereby written once and runs
+// allocation-free on transports that implement Resetter.
+func ResetTimer(t Timer, d time.Duration) bool {
+	if r, ok := t.(Resetter); ok {
+		return r.Reset(d)
+	}
+	return false
+}
+
 // Env is the execution environment handed to a protocol stack. All methods
 // must be called from within the node's callbacks (or before the node
 // starts processing messages); they are not safe for use from foreign

@@ -5,6 +5,7 @@ import (
 
 	"fuse/internal/cluster"
 	"fuse/internal/core"
+	"fuse/internal/netmodel"
 	"fuse/internal/overlay"
 )
 
@@ -22,6 +23,19 @@ type Sim struct {
 // NewSim builds a deployment of n nodes with a converged overlay.
 func NewSim(n int, seed int64) *Sim {
 	return &Sim{c: cluster.New(cluster.Options{N: n, Seed: seed})}
+}
+
+// NewSimPaperScale builds a deployment on the paper-scale
+// Mercator-substitute topology (~104k routers), which is required once n
+// exceeds the default topology's router count - the §7.3 configuration
+// of overlays up to 16,000 nodes. Overlay routes are pre-warmed in
+// parallel, so construction does bulk work up front in exchange for a
+// fast simulation afterwards.
+func NewSimPaperScale(n int, seed int64) *Sim {
+	cfg := netmodel.PaperScaleConfig(seed)
+	s := &Sim{c: cluster.New(cluster.Options{N: n, Seed: seed, NetConfig: &cfg})}
+	s.c.WarmRoutes(nil)
+	return s
 }
 
 // Nodes returns the deployment size.
