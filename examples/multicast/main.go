@@ -35,7 +35,7 @@ func main() {
 	for i, nd := range c.Nodes {
 		svcs[i] = svtree.New(nd.Env, nd.Overlay, nd.Fuse, svtree.DefaultConfig())
 		ov, fu, sv := nd.Overlay, nd.Fuse, svcs[i]
-		c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg any) {
+		c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg transport.Message) {
 			if ov.Handle(from, msg) || fu.Handle(from, msg) || sv.Handle(from, msg) {
 				return
 			}

@@ -121,7 +121,7 @@ func (c *Cluster) buildStack(i int, addr transport.Addr, router netmodel.RouterI
 	ov := overlay.New(env, c.overlayCfg, NameOf(i))
 	fu := core.New(env, ov, c.fuseCfg)
 	n := &Node{Index: i, Addr: addr, Router: router, Env: env, Overlay: ov, Fuse: fu}
-	c.Net.SetHandler(addr, func(from transport.Addr, msg any) {
+	c.Net.SetHandler(addr, func(from transport.Addr, msg transport.Message) {
 		if ov.Handle(from, msg) {
 			return
 		}

@@ -53,7 +53,7 @@ func (f *Fuse) linkFailed(id GroupID, from overlay.NodeRef) {
 			if l.neighbor.Addr == from.Addr {
 				continue
 			}
-			f.env.Send(l.neighbor.Addr, msgSoftNotification{ID: id, Seq: seq, From: f.self})
+			f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: id, Seq: seq, From: f.self})
 		}
 		f.dropChecking(id)
 	}
@@ -87,7 +87,7 @@ func (f *Fuse) reactToTreeFailure(id GroupID) {
 // handleSoft processes a SoftNotification (§6.4): discard if stale,
 // otherwise forward through the tree, clean up delegate state, and react
 // by role. SoftNotifications never reach the application.
-func (f *Fuse) handleSoft(m msgSoftNotification) {
+func (f *Fuse) handleSoft(m *msgSoftNotification) {
 	cs, ok := f.checking[m.ID]
 	if ok {
 		if m.Seq < cs.seq {
@@ -97,7 +97,7 @@ func (f *Fuse) handleSoft(m msgSoftNotification) {
 			if l.neighbor.Addr == m.From.Addr {
 				continue
 			}
-			f.env.Send(l.neighbor.Addr, msgSoftNotification{ID: m.ID, Seq: m.Seq, From: f.self})
+			f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: m.ID, Seq: m.Seq, From: f.self})
 		}
 		f.dropChecking(m.ID)
 		f.reactToTreeFailure(m.ID)
@@ -118,8 +118,8 @@ var _ overlay.Client = (*Fuse)(nil)
 
 // OnRouteMessage receives overlay upcalls: InstallChecking messages at
 // delegates, at the root, and at nodes where routing dies.
-func (f *Fuse) OnRouteMessage(msg any, info overlay.RouteInfo) {
-	ic, ok := msg.(msgInstallChecking)
+func (f *Fuse) OnRouteMessage(msg transport.Message, info overlay.RouteInfo) {
+	ic, ok := msg.(*msgInstallChecking)
 	if !ok {
 		f.logf("unexpected routed message %T", msg)
 		return
@@ -130,7 +130,7 @@ func (f *Fuse) OnRouteMessage(msg any, info overlay.RouteInfo) {
 		// member re-initiates repair, with backoff at the root
 		// bounding the frequency (§6.5).
 		if !info.Prev.IsZero() {
-			f.env.Send(info.Prev.Addr, msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
+			f.env.Send(info.Prev.Addr, &msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
 		} else {
 			// Died at the origin member itself.
 			f.reactToTreeFailure(ic.ID)
@@ -146,7 +146,7 @@ func (f *Fuse) OnRouteMessage(msg any, info overlay.RouteInfo) {
 
 // installArrivedAtRoot credits a member's InstallChecking and monitors the
 // last link of its path.
-func (f *Fuse) installArrivedAtRoot(ic msgInstallChecking, prev overlay.NodeRef) {
+func (f *Fuse) installArrivedAtRoot(ic *msgInstallChecking, prev overlay.NodeRef) {
 	if rs, ok := f.roots[ic.ID]; ok {
 		if ic.Seq < rs.seq {
 			return // stale generation
@@ -167,7 +167,7 @@ func (f *Fuse) installArrivedAtRoot(ic msgInstallChecking, prev overlay.NodeRef)
 	}
 	// Group is gone at the root: tear the fresh path back down.
 	if !prev.IsZero() {
-		f.env.Send(prev.Addr, msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
+		f.env.Send(prev.Addr, &msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
 	}
 }
 
@@ -198,14 +198,14 @@ func (f *Fuse) OnPingPayload(neighbor overlay.NodeRef, payload []byte) {
 		// send our (empty) list so it can tear them down. Marked as a
 		// reply: with no state on this link, the neighbor's counter-list
 		// could never tell us anything, so don't solicit one per ping.
-		f.env.Send(neighbor.Addr, msgGroupLists{From: f.self, IsReply: true})
+		f.env.Send(neighbor.Addr, &msgGroupLists{From: f.self, IsReply: true})
 		return
 	}
 	if bytes.Equal(ls.linkHash(), payload) {
 		f.resetLinkTimer(ls)
 		return
 	}
-	f.env.Send(neighbor.Addr, msgGroupLists{From: f.self, Entries: f.linkEntries(neighbor.Addr), IsReply: false})
+	f.env.Send(neighbor.Addr, &msgGroupLists{From: f.self, Entries: f.linkEntries(neighbor.Addr), IsReply: false})
 }
 
 // OnNeighborDown converts an overlay-level link death into FUSE link
@@ -266,7 +266,7 @@ func hashGroupIDs(ids []GroupID) []byte {
 // deadline; groups only we believe in are torn down as link failures -
 // unless they are younger than the grace period, which covers the
 // installation race during group creation.
-func (f *Fuse) handleGroupLists(m msgGroupLists) {
+func (f *Fuse) handleGroupLists(m *msgGroupLists) {
 	theirs := make(map[GroupID]bool, len(m.Entries))
 	for _, e := range m.Entries {
 		theirs[e.ID] = true
@@ -295,6 +295,6 @@ func (f *Fuse) handleGroupLists(m msgGroupLists) {
 		}
 	}
 	if !m.IsReply {
-		f.env.Send(m.From.Addr, msgGroupLists{From: f.self, Entries: f.linkEntries(m.From.Addr), IsReply: true})
+		f.env.Send(m.From.Addr, &msgGroupLists{From: f.self, Entries: f.linkEntries(m.From.Addr), IsReply: true})
 	}
 }

@@ -57,7 +57,7 @@ func (f *Fuse) CreateGroup(members []overlay.NodeRef, done func(GroupID, error))
 	f.creating[id] = c
 
 	for _, m := range others {
-		f.env.Send(m.Addr, msgGroupCreateRequest{ID: id, Members: members})
+		f.env.Send(m.Addr, &msgGroupCreateRequest{ID: id, Members: members})
 	}
 	c.timer = f.env.After(f.cfg.CreateTimeout, func() { f.createTimedOut(c) })
 }
@@ -65,23 +65,23 @@ func (f *Fuse) CreateGroup(members []overlay.NodeRef, done func(GroupID, error))
 // handleCreateRequest installs member state and replies (§6.2): reply
 // directly to the root and concurrently route an InstallChecking message
 // toward it.
-func (f *Fuse) handleCreateRequest(m msgGroupCreateRequest) {
+func (f *Fuse) handleCreateRequest(m *msgGroupCreateRequest) {
 	if _, ok := f.members[m.ID]; ok {
 		// Duplicate (e.g. root retransmission): just re-reply.
-		f.env.Send(m.ID.Root.Addr, msgGroupCreateReply{ID: m.ID, Member: f.self})
+		f.env.Send(m.ID.Root.Addr, &msgGroupCreateReply{ID: m.ID, Member: f.self})
 		return
 	}
 	ms := &memberState{id: m.ID, root: m.ID.Root}
 	f.members[m.ID] = ms
 	f.saveMember(ms)
-	f.env.Send(m.ID.Root.Addr, msgGroupCreateReply{ID: m.ID, Member: f.self})
+	f.env.Send(m.ID.Root.Addr, &msgGroupCreateReply{ID: m.ID, Member: f.self})
 	f.sendInstallChecking(m.ID, 0)
 }
 
 // sendInstallChecking routes the member's InstallChecking toward the root
 // and begins monitoring the first link of the path.
 func (f *Fuse) sendInstallChecking(id GroupID, seq uint64) {
-	first, ok := f.ov.RouteTo(id.Root.Name, msgInstallChecking{ID: id, Seq: seq, Member: f.self})
+	first, ok := f.ov.RouteTo(id.Root.Name, &msgInstallChecking{ID: id, Seq: seq, Member: f.self})
 	if !ok {
 		// No overlay path to the root right now. The root's install
 		// timer will notice the missing InstallChecking and drive
@@ -93,7 +93,7 @@ func (f *Fuse) sendInstallChecking(id GroupID, seq uint64) {
 }
 
 // handleCreateReply collects member acknowledgments at the root.
-func (f *Fuse) handleCreateReply(m msgGroupCreateReply) {
+func (f *Fuse) handleCreateReply(m *msgGroupCreateReply) {
 	c, ok := f.creating[m.ID]
 	if !ok {
 		// Late reply after the creation timed out: the paper's rule is
@@ -155,7 +155,7 @@ func (f *Fuse) createTimedOut(c *creating) {
 	delete(f.creating, c.id)
 	missing := 0
 	for _, m := range c.members {
-		f.env.Send(m.Addr, msgHardNotification{ID: c.id, From: f.self})
+		f.env.Send(m.Addr, &msgHardNotification{ID: c.id, From: f.self})
 		if c.pending[m.Name] {
 			missing++
 		}

@@ -344,7 +344,7 @@ func (f *Fuse) SignalFailure(id GroupID) {
 		return
 	}
 	if _, ok := f.members[id]; ok {
-		f.env.Send(id.Root.Addr, msgHardNotification{ID: id, From: f.self})
+		f.env.Send(id.Root.Addr, &msgHardNotification{ID: id, From: f.self})
 		f.notifyLocal(id, ReasonSignaled)
 		f.teardown(id)
 		return

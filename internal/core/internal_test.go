@@ -29,7 +29,7 @@ type fakeEnv struct {
 
 type fakeSend struct {
 	to  transport.Addr
-	msg any
+	msg transport.Message
 }
 
 type fakeTimer struct {
@@ -56,7 +56,7 @@ func (e *fakeEnv) Now() time.Time       { return e.now }
 func (e *fakeEnv) Rand() *rand.Rand     { return e.rng }
 func (e *fakeEnv) Logf(string, ...any)  {}
 
-func (e *fakeEnv) Send(to transport.Addr, msg any) {
+func (e *fakeEnv) Send(to transport.Addr, msg transport.Message) {
 	e.sent = append(e.sent, fakeSend{to: to, msg: msg})
 }
 
@@ -77,8 +77,8 @@ func (e *fakeEnv) advance(d time.Duration) {
 	}
 }
 
-func (e *fakeEnv) sentTo(addr transport.Addr) []any {
-	var out []any
+func (e *fakeEnv) sentTo(addr transport.Addr) []transport.Message {
+	var out []transport.Message
 	for _, s := range e.sent {
 		if s.to == addr {
 			out = append(out, s.msg)
@@ -323,12 +323,12 @@ func TestStaleSoftNotificationDiscarded(t *testing.T) {
 	f.addTreeLink(id, 5, ref("n1"))
 	f.addTreeLink(id, 5, ref("n2"))
 	// A soft from a previous generation must not tear the tree down.
-	f.handleSoft(msgSoftNotification{ID: id, Seq: 4, From: ref("n1")})
+	f.handleSoft(&msgSoftNotification{ID: id, Seq: 4, From: ref("n1")})
 	if _, ok := f.checking[id]; !ok {
 		t.Fatal("stale soft notification tore down current-generation state")
 	}
 	// A current-generation soft does.
-	f.handleSoft(msgSoftNotification{ID: id, Seq: 5, From: ref("n1")})
+	f.handleSoft(&msgSoftNotification{ID: id, Seq: 5, From: ref("n1")})
 	if _, ok := f.checking[id]; ok {
 		t.Fatal("current soft notification ignored")
 	}
@@ -339,7 +339,7 @@ func TestSoftNotificationForwardsToOtherLinksOnly(t *testing.T) {
 	id := GroupID{Root: ref("r"), Num: 4}
 	f.addTreeLink(id, 0, ref("up"))
 	f.addTreeLink(id, 0, ref("down"))
-	f.handleSoft(msgSoftNotification{ID: id, Seq: 0, From: ref("up")})
+	f.handleSoft(&msgSoftNotification{ID: id, Seq: 0, From: ref("up")})
 	if got := env.sentTo(ref("up").Addr); len(got) != 0 {
 		t.Fatalf("soft echoed back to its sender: %v", got)
 	}
@@ -347,7 +347,7 @@ func TestSoftNotificationForwardsToOtherLinksOnly(t *testing.T) {
 	if len(fwd) != 1 {
 		t.Fatalf("forwarded %d messages to the other link, want 1", len(fwd))
 	}
-	if _, ok := fwd[0].(msgSoftNotification); !ok {
+	if _, ok := fwd[0].(*msgSoftNotification); !ok {
 		t.Fatalf("forwarded %T, want msgSoftNotification", fwd[0])
 	}
 }
@@ -358,13 +358,13 @@ func TestReconciliationGracePeriodProtectsFreshLinks(t *testing.T) {
 	f.addTreeLink(id, 0, ref("peer"))
 	// The peer's list does not mention the group, but the link is
 	// younger than the grace period: state must survive.
-	f.handleGroupLists(msgGroupLists{From: ref("peer"), IsReply: true})
+	f.handleGroupLists(&msgGroupLists{From: ref("peer"), IsReply: true})
 	if _, ok := f.checking[id]; !ok {
 		t.Fatal("grace period did not protect a fresh link")
 	}
 	// Past the grace period the same disagreement kills the link.
 	env.advance(f.cfg.GracePeriod + time.Second)
-	f.handleGroupLists(msgGroupLists{From: ref("peer"), IsReply: true})
+	f.handleGroupLists(&msgGroupLists{From: ref("peer"), IsReply: true})
 	if _, ok := f.checking[id]; ok {
 		t.Fatal("reconciliation did not fail a disagreed link after grace")
 	}
@@ -386,7 +386,7 @@ func TestGracePeriodSurvivesSharedLinkTimer(t *testing.T) {
 	env.advance(f.cfg.GracePeriod + time.Second) // agreedID is old
 	f.addTreeLink(freshID, 0, peer)
 
-	lists := msgGroupLists{From: peer, Entries: []listEntry{{ID: agreedID, Seq: 1}}, IsReply: true}
+	lists := &msgGroupLists{From: peer, Entries: []listEntry{{ID: agreedID, Seq: 1}}, IsReply: true}
 	f.handleGroupLists(lists)
 	if _, ok := f.checking[freshID]; !ok {
 		t.Fatal("grace period did not protect the fresh group on a shared link")
@@ -419,7 +419,7 @@ func TestReconciliationAgreementResetsTimers(t *testing.T) {
 	id := GroupID{Root: ref("r"), Num: 6}
 	f.addTreeLink(id, 2, ref("peer"))
 	env.advance(f.cfg.GracePeriod + time.Second)
-	f.handleGroupLists(msgGroupLists{
+	f.handleGroupLists(&msgGroupLists{
 		From:    ref("peer"),
 		Entries: []listEntry{{ID: id, Seq: 2}},
 		IsReply: true,
@@ -428,14 +428,14 @@ func TestReconciliationAgreementResetsTimers(t *testing.T) {
 		t.Fatal("agreed link was dropped")
 	}
 	// And a non-reply triggers exactly one reply back.
-	f.handleGroupLists(msgGroupLists{
+	f.handleGroupLists(&msgGroupLists{
 		From:    ref("peer"),
 		Entries: []listEntry{{ID: id, Seq: 2}},
 		IsReply: false,
 	})
 	replies := 0
 	for _, m := range env.sentTo(ref("peer").Addr) {
-		if gl, ok := m.(msgGroupLists); ok && gl.IsReply {
+		if gl, ok := m.(*msgGroupLists); ok && gl.IsReply {
 			replies++
 		}
 	}

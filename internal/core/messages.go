@@ -5,16 +5,21 @@ import (
 	"fuse/internal/transport"
 )
 
-// Wire messages, named as in §6 of the paper.
+// Wire messages, named as in §6 of the paper. Each embeds the transport
+// marker through the unexported alias (kept off the wire) and travels as
+// a pointer through the transport.Message union.
+type body = transport.Body
 
 // msgGroupCreateRequest is sent directly from the root to every member.
 type msgGroupCreateRequest struct {
+	body
 	ID      GroupID
 	Members []overlay.NodeRef
 }
 
 // msgGroupCreateReply is the member's direct answer.
 type msgGroupCreateReply struct {
+	body
 	ID     GroupID
 	Member overlay.NodeRef
 }
@@ -22,6 +27,7 @@ type msgGroupCreateReply struct {
 // msgInstallChecking is routed through the overlay from a member toward
 // the root, installing delegate timers at every hop.
 type msgInstallChecking struct {
+	body
 	ID     GroupID
 	Seq    uint64
 	Member overlay.NodeRef
@@ -31,6 +37,7 @@ type msgInstallChecking struct {
 // link fails; it cleans up delegate state and prompts members and the root
 // to repair. It never reaches the application.
 type msgSoftNotification struct {
+	body
 	ID   GroupID
 	Seq  uint64
 	From overlay.NodeRef
@@ -39,6 +46,7 @@ type msgSoftNotification struct {
 // msgHardNotification is the application-visible failure notification,
 // fanned member -> root -> members over direct connections.
 type msgHardNotification struct {
+	body
 	ID   GroupID
 	From overlay.NodeRef
 }
@@ -46,6 +54,7 @@ type msgHardNotification struct {
 // msgNeedRepair is a member's direct request that the root rebuild the
 // checking tree.
 type msgNeedRepair struct {
+	body
 	ID     GroupID
 	Seq    uint64
 	Member overlay.NodeRef
@@ -54,12 +63,14 @@ type msgNeedRepair struct {
 // msgGroupRepairRequest is the root's direct probe to each member during
 // repair; it carries the incremented sequence number.
 type msgGroupRepairRequest struct {
+	body
 	ID  GroupID
 	Seq uint64
 }
 
 // msgGroupRepairReply is the member's direct answer to a repair request.
 type msgGroupRepairReply struct {
+	body
 	ID     GroupID
 	Seq    uint64
 	Member overlay.NodeRef
@@ -68,6 +79,7 @@ type msgGroupRepairReply struct {
 // msgGroupLists reconciles two neighbors' views of which groups they
 // jointly monitor after a piggyback hash mismatch.
 type msgGroupLists struct {
+	body
 	From    overlay.NodeRef
 	Entries []listEntry
 	IsReply bool
@@ -79,36 +91,36 @@ type listEntry struct {
 }
 
 func init() {
-	transport.RegisterPayload(msgGroupCreateRequest{})
-	transport.RegisterPayload(msgGroupCreateReply{})
-	transport.RegisterPayload(msgInstallChecking{})
-	transport.RegisterPayload(msgSoftNotification{})
-	transport.RegisterPayload(msgHardNotification{})
-	transport.RegisterPayload(msgNeedRepair{})
-	transport.RegisterPayload(msgGroupRepairRequest{})
-	transport.RegisterPayload(msgGroupRepairReply{})
-	transport.RegisterPayload(msgGroupLists{})
+	transport.Register("core.groupCreateRequest", func() transport.Message { return new(msgGroupCreateRequest) })
+	transport.Register("core.groupCreateReply", func() transport.Message { return new(msgGroupCreateReply) })
+	transport.Register("core.installChecking", func() transport.Message { return new(msgInstallChecking) })
+	transport.Register("core.softNotification", func() transport.Message { return new(msgSoftNotification) })
+	transport.Register("core.hardNotification", func() transport.Message { return new(msgHardNotification) })
+	transport.Register("core.needRepair", func() transport.Message { return new(msgNeedRepair) })
+	transport.Register("core.groupRepairRequest", func() transport.Message { return new(msgGroupRepairRequest) })
+	transport.Register("core.groupRepairReply", func() transport.Message { return new(msgGroupRepairReply) })
+	transport.Register("core.groupLists", func() transport.Message { return new(msgGroupLists) })
 }
 
 // Handle dispatches a direct (non-overlay-routed) message to the FUSE
 // layer, returning false if the message belongs to another protocol.
-func (f *Fuse) Handle(from transport.Addr, msg any) bool {
+func (f *Fuse) Handle(from transport.Addr, msg transport.Message) bool {
 	switch m := msg.(type) {
-	case msgGroupCreateRequest:
+	case *msgGroupCreateRequest:
 		f.handleCreateRequest(m)
-	case msgGroupCreateReply:
+	case *msgGroupCreateReply:
 		f.handleCreateReply(m)
-	case msgSoftNotification:
+	case *msgSoftNotification:
 		f.handleSoft(m)
-	case msgHardNotification:
+	case *msgHardNotification:
 		f.handleHard(m)
-	case msgNeedRepair:
+	case *msgNeedRepair:
 		f.handleNeedRepair(m)
-	case msgGroupRepairRequest:
+	case *msgGroupRepairRequest:
 		f.handleRepairRequest(m)
-	case msgGroupRepairReply:
+	case *msgGroupRepairReply:
 		f.handleRepairReply(m)
-	case msgGroupLists:
+	case *msgGroupLists:
 		f.handleGroupLists(m)
 	default:
 		return false

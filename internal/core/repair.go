@@ -15,26 +15,26 @@ func (f *Fuse) memberNeedsRepair(ms *memberState) {
 	if ms.repairTimer != nil {
 		return
 	}
-	f.env.Send(ms.root.Addr, msgNeedRepair{ID: ms.id, Seq: ms.seq, Member: f.self})
+	f.env.Send(ms.root.Addr, &msgNeedRepair{ID: ms.id, Seq: ms.seq, Member: f.self})
 	ms.repairTimer = f.env.After(f.cfg.MemberRepairTimeout, func() {
 		// The root never responded: conclude the group has failed
 		// (member-side guarantee). Tell the root anyway - if it is
 		// alive behind an asymmetric failure, it will fan out the
 		// notification.
 		f.logf("member repair timeout for %s", ms.id)
-		f.env.Send(ms.root.Addr, msgHardNotification{ID: ms.id, From: f.self})
+		f.env.Send(ms.root.Addr, &msgHardNotification{ID: ms.id, From: f.self})
 		f.notifyLocal(ms.id, ReasonRepairTimeout)
 		f.teardown(ms.id)
 	})
 }
 
 // handleNeedRepair lets a member prod the root into repairing.
-func (f *Fuse) handleNeedRepair(m msgNeedRepair) {
+func (f *Fuse) handleNeedRepair(m *msgNeedRepair) {
 	rs, ok := f.roots[m.ID]
 	if !ok {
 		// The group no longer exists here; the member must hear that as
 		// a failure.
-		f.env.Send(m.Member.Addr, msgHardNotification{ID: m.ID, From: f.self})
+		f.env.Send(m.Member.Addr, &msgHardNotification{ID: m.ID, From: f.self})
 		return
 	}
 	f.scheduleRepair(rs)
@@ -86,7 +86,7 @@ func (f *Fuse) startRepair(rs *rootState) {
 	for _, m := range rs.members {
 		rs.repairPending[m.Name] = true
 		rs.installPending[m.Name] = true
-		f.env.Send(m.Addr, msgGroupRepairRequest{ID: rs.id, Seq: rs.seq})
+		f.env.Send(m.Addr, &msgGroupRepairRequest{ID: rs.id, Seq: rs.seq})
 	}
 	stopTimer(rs.repairTimer)
 	rs.repairTimer = f.env.After(f.cfg.RootRepairTimeout, func() {
@@ -101,14 +101,14 @@ func (f *Fuse) startRepair(rs *rootState) {
 
 // handleRepairRequest is the member side of repair: adopt the new
 // sequence number, answer directly, and re-route InstallChecking.
-func (f *Fuse) handleRepairRequest(m msgGroupRepairRequest) {
+func (f *Fuse) handleRepairRequest(m *msgGroupRepairRequest) {
 	ms, ok := f.members[m.ID]
 	if !ok {
 		// "If a repair message ever encounters a member that no longer
 		// has knowledge of the group, it fails and signals a
 		// HardNotification" - this guarantees repair cannot suppress a
 		// notification that already reached some members.
-		f.env.Send(m.ID.Root.Addr, msgHardNotification{ID: m.ID, From: f.self})
+		f.env.Send(m.ID.Root.Addr, &msgHardNotification{ID: m.ID, From: f.self})
 		return
 	}
 	if m.Seq < ms.seq {
@@ -123,12 +123,12 @@ func (f *Fuse) handleRepairRequest(m msgGroupRepairRequest) {
 
 	// Replace our old view of the tree with the new generation.
 	f.dropChecking(m.ID)
-	f.env.Send(m.ID.Root.Addr, msgGroupRepairReply{ID: m.ID, Seq: m.Seq, Member: f.self})
+	f.env.Send(m.ID.Root.Addr, &msgGroupRepairReply{ID: m.ID, Seq: m.Seq, Member: f.self})
 	f.sendInstallChecking(m.ID, m.Seq)
 }
 
 // handleRepairReply collects members' repair acknowledgments at the root.
-func (f *Fuse) handleRepairReply(m msgGroupRepairReply) {
+func (f *Fuse) handleRepairReply(m *msgGroupRepairReply) {
 	rs, ok := f.roots[m.ID]
 	if !ok || rs.repairPending == nil || m.Seq != rs.seq {
 		return
@@ -149,7 +149,7 @@ func (f *Fuse) handleRepairReply(m msgGroupRepairReply) {
 // with SoftNotifications (the proactive cleanup of Figure 4).
 func (f *Fuse) rootFail(rs *rootState, reason Reason) {
 	for _, m := range rs.members {
-		f.env.Send(m.Addr, msgHardNotification{ID: rs.id, From: f.self})
+		f.env.Send(m.Addr, &msgHardNotification{ID: rs.id, From: f.self})
 	}
 	f.softSweep(rs.id)
 	f.notifyLocal(rs.id, reason)
@@ -165,20 +165,20 @@ func (f *Fuse) softSweep(id GroupID) {
 	}
 	seq := cs.seq + 1 // strictly newer than any installed generation
 	for _, l := range sortedLinks(cs) {
-		f.env.Send(l.neighbor.Addr, msgSoftNotification{ID: id, Seq: seq, From: f.self})
+		f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: id, Seq: seq, From: f.self})
 	}
 }
 
 // handleHard delivers the application-visible notification (§6.4): the
 // root fans it to all members; every receiver fires its handler exactly
 // once and tears down group state.
-func (f *Fuse) handleHard(m msgHardNotification) {
+func (f *Fuse) handleHard(m *msgHardNotification) {
 	if rs, ok := f.roots[m.ID]; ok {
 		for _, mem := range rs.members {
 			if mem.Addr == m.From.Addr {
 				continue // the signaller already knows
 			}
-			f.env.Send(mem.Addr, msgHardNotification{ID: m.ID, From: f.self})
+			f.env.Send(mem.Addr, &msgHardNotification{ID: m.ID, From: f.self})
 		}
 		f.softSweep(m.ID)
 		f.notifyLocal(m.ID, ReasonNotified)
@@ -196,7 +196,7 @@ func (f *Fuse) handleHard(m msgHardNotification) {
 		delete(f.creating, m.ID)
 		for _, mem := range c.members {
 			if mem.Addr != m.From.Addr {
-				f.env.Send(mem.Addr, msgHardNotification{ID: m.ID, From: f.self})
+				f.env.Send(mem.Addr, &msgHardNotification{ID: m.ID, From: f.self})
 			}
 		}
 		f.dropChecking(m.ID)

@@ -44,7 +44,7 @@ func SVTreeGroupSizes(p Params) (*Result, error) {
 	for i, nd := range c.Nodes {
 		svcs[i] = svtree.New(nd.Env, nd.Overlay, nd.Fuse, svtree.DefaultConfig())
 		ov, fu, sv := nd.Overlay, nd.Fuse, svcs[i]
-		c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg any) {
+		c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg transport.Message) {
 			if ov.Handle(from, msg) || fu.Handle(from, msg) || sv.Handle(from, msg) {
 				return
 			}
@@ -175,7 +175,7 @@ func livetopoRun(p Params, kind livetopo.Kind, n, groups, size int, window time.
 		svc := livetopo.New(env, cfg, refs[i])
 		svcs[i] = svc
 		func(svc *livetopo.Service) {
-			net.SetHandler(addr, func(from transport.Addr, msg any) { svc.Handle(from, msg) })
+			net.SetHandler(addr, func(from transport.Addr, msg transport.Message) { svc.Handle(from, msg) })
 		}(svc)
 	}
 

@@ -45,7 +45,7 @@ func Fig6RPCLatency(p Params) (*Result, error) {
 	for i, nd := range c.Nodes {
 		peers[i] = rpcx.New(nd.Env, func(transport.Addr, any) any { return "ack" })
 		ov, fu, pr := nd.Overlay, nd.Fuse, peers[i]
-		c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg any) {
+		c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg transport.Message) {
 			if ov.Handle(from, msg) || fu.Handle(from, msg) || pr.Handle(from, msg) {
 				return
 			}

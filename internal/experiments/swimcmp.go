@@ -83,7 +83,7 @@ func swimRun(p Params, n int) (loadPerNode, medianDetectSec float64, masked bool
 		svc := swim.New(env, swim.DefaultConfig(), refs[i])
 		svcs[i] = svc
 		func(svc *swim.Service) {
-			net.SetHandler(addr(i), func(from transport.Addr, msg any) { svc.Handle(from, msg) })
+			net.SetHandler(addr(i), func(from transport.Addr, msg transport.Message) { svc.Handle(from, msg) })
 		}(svc)
 	}
 	for _, svc := range svcs {

@@ -171,7 +171,7 @@ func (s *Service) HasState(id GroupID) bool {
 	return ok
 }
 
-func (s *Service) send(to transport.Addr, msg any) {
+func (s *Service) send(to transport.Addr, msg transport.Message) {
 	s.sent++
 	s.env.Send(to, msg)
 }
@@ -203,10 +203,10 @@ func (s *Service) CreateGroup(members []overlay.NodeRef, done func(GroupID, erro
 	s.creating[id] = c
 
 	for _, m := range full[1:] {
-		s.send(m.Addr, msgJoin{ID: id, Members: full})
+		s.send(m.Addr, &msgJoin{ID: id, Members: full})
 	}
 	if s.cfg.Kind == CentralServer && s.self.Name != s.cfg.Server.Name {
-		s.send(s.cfg.Server.Addr, msgRegister{ID: id, Members: full})
+		s.send(s.cfg.Server.Addr, &msgRegister{ID: id, Members: full})
 	}
 	if len(c.pending) == 0 {
 		delete(s.creating, id)
@@ -220,7 +220,7 @@ func (s *Service) CreateGroup(members []overlay.NodeRef, done func(GroupID, erro
 		}
 		delete(s.creating, id)
 		for _, m := range full[1:] {
-			s.send(m.Addr, msgNotify{ID: id})
+			s.send(m.Addr, &msgNotify{ID: id})
 		}
 		done(GroupID{}, ErrCreateTimeout)
 	})
@@ -263,10 +263,10 @@ func (s *Service) install(id GroupID, members []overlay.NodeRef, isRoot bool) {
 	if isRoot {
 		s.activate(g)
 		for _, m := range members[1:] {
-			s.send(m.Addr, msgActivate{ID: id})
+			s.send(m.Addr, &msgActivate{ID: id})
 		}
 		if s.cfg.Kind == CentralServer && s.self.Name != s.cfg.Server.Name {
-			s.send(s.cfg.Server.Addr, msgActivate{ID: id})
+			s.send(s.cfg.Server.Addr, &msgActivate{ID: id})
 		}
 		return
 	}
@@ -342,7 +342,7 @@ func (s *Service) pingPeer(g *group, p *peer) {
 	}
 	p.seq++
 	seq := p.seq
-	s.send(p.ref.Addr, msgPing{ID: g.id, From: s.self, Seq: seq})
+	s.send(p.ref.Addr, newMsgPingFor(g.id, s.self, seq))
 	if p.timeout != nil {
 		p.timeout.Stop()
 	}
@@ -375,15 +375,15 @@ func (s *Service) failGroup(g *group) {
 	case DirectTree:
 		if g.isRoot {
 			for _, m := range g.members[1:] {
-				s.send(m.Addr, msgNotify{ID: g.id})
+				s.send(m.Addr, &msgNotify{ID: g.id})
 			}
 		} else {
-			s.send(g.id.Root.Addr, msgNotify{ID: g.id})
+			s.send(g.id.Root.Addr, &msgNotify{ID: g.id})
 		}
 	case AllToAll:
 		for _, m := range g.members {
 			if m.Name != s.self.Name {
-				s.send(m.Addr, msgNotify{ID: g.id})
+				s.send(m.Addr, &msgNotify{ID: g.id})
 			}
 		}
 	case CentralServer:
@@ -391,7 +391,7 @@ func (s *Service) failGroup(g *group) {
 			s.serverFail(g)
 			return
 		}
-		s.send(s.cfg.Server.Addr, msgNotify{ID: g.id})
+		s.send(s.cfg.Server.Addr, &msgNotify{ID: g.id})
 	}
 	s.notifyAndDrop(g.id)
 }
@@ -400,7 +400,7 @@ func (s *Service) failGroup(g *group) {
 func (s *Service) serverFail(g *group) {
 	for _, m := range g.members {
 		if m.Name != s.self.Name {
-			s.send(m.Addr, msgNotify{ID: g.id})
+			s.send(m.Addr, &msgNotify{ID: g.id})
 		}
 	}
 	s.dropGroup(g.id)

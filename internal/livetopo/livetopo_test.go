@@ -40,7 +40,7 @@ func newRig(t testing.TB, n int, seed int64, kind livetopo.Kind) *rig {
 		env := net.AddNode(addr, pts[i])
 		svc := livetopo.New(env, cfg, ref)
 		func(svc *livetopo.Service) {
-			net.SetHandler(addr, func(from transport.Addr, msg any) { svc.Handle(from, msg) })
+			net.SetHandler(addr, func(from transport.Addr, msg transport.Message) { svc.Handle(from, msg) })
 		}(svc)
 		r.services = append(r.services, svc)
 		r.refs = append(r.refs, ref)

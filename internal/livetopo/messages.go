@@ -1,30 +1,41 @@
 package livetopo
 
 import (
+	"sync"
+
 	"fuse/internal/overlay"
 	"fuse/internal/transport"
 )
 
+// Wire messages. Each embeds the transport marker (via the unexported
+// alias, kept off the wire) and joins the transport.Message union as a
+// pointer record.
+type body = transport.Body
+
 // msgJoin asks a member to install monitoring state for a new group.
 type msgJoin struct {
+	body
 	ID      GroupID
 	Members []overlay.NodeRef
 }
 
 // msgJoinAck confirms installation.
 type msgJoinAck struct {
+	body
 	ID   GroupID
 	From overlay.NodeRef
 }
 
 // msgRegister installs a group at the central server.
 type msgRegister struct {
+	body
 	ID      GroupID
 	Members []overlay.NodeRef
 }
 
 // msgPing is the per-group liveness check.
 type msgPing struct {
+	body
 	ID   GroupID
 	From overlay.NodeRef
 	Seq  uint64
@@ -34,48 +45,92 @@ type msgPing struct {
 // propagation mechanism: a missed ack anywhere becomes a failure decision
 // there, and so on transitively.
 type msgPingAck struct {
+	body
 	ID   GroupID
 	From overlay.NodeRef
 	Seq  uint64
 }
 
+// The per-group ping cycle is livetopo's steady-state traffic (one ping
+// and ack per peer per group per interval — the O(groups) cost FUSE's
+// piggybacking eliminates). The records are pool-backed like the
+// overlay's, so the comparison experiments measure protocol cost, not
+// allocator cost.
+var (
+	pingPool    = sync.Pool{New: func() any { return new(msgPing) }}
+	pingAckPool = sync.Pool{New: func() any { return new(msgPingAck) }}
+)
+
+func newMsgPing() *msgPing       { return pingPool.Get().(*msgPing) }
+func newMsgPingAck() *msgPingAck { return pingAckPool.Get().(*msgPingAck) }
+
+func newMsgPingFor(id GroupID, from overlay.NodeRef, seq uint64) *msgPing {
+	m := newMsgPing()
+	m.ID, m.From, m.Seq = id, from, seq
+	return m
+}
+
+func newMsgPingAckFor(id GroupID, from overlay.NodeRef, seq uint64) *msgPingAck {
+	m := newMsgPingAck()
+	m.ID, m.From, m.Seq = id, from, seq
+	return m
+}
+
+// Release zeroes the record and returns it to the pool.
+func (m *msgPing) Release() {
+	*m = msgPing{}
+	pingPool.Put(m)
+}
+
+func (m *msgPingAck) Release() {
+	*m = msgPingAck{}
+	pingAckPool.Put(m)
+}
+
+var (
+	_ transport.Pooled = (*msgPing)(nil)
+	_ transport.Pooled = (*msgPingAck)(nil)
+)
+
 // msgActivate tells a member that creation completed everywhere and
 // monitoring may begin.
 type msgActivate struct {
+	body
 	ID GroupID
 }
 
 // msgNotify is the failure notification.
 type msgNotify struct {
+	body
 	ID GroupID
 }
 
 func init() {
-	transport.RegisterPayload(msgJoin{})
-	transport.RegisterPayload(msgJoinAck{})
-	transport.RegisterPayload(msgRegister{})
-	transport.RegisterPayload(msgActivate{})
-	transport.RegisterPayload(msgPing{})
-	transport.RegisterPayload(msgPingAck{})
-	transport.RegisterPayload(msgNotify{})
+	transport.Register("livetopo.join", func() transport.Message { return new(msgJoin) })
+	transport.Register("livetopo.joinAck", func() transport.Message { return new(msgJoinAck) })
+	transport.Register("livetopo.register", func() transport.Message { return new(msgRegister) })
+	transport.Register("livetopo.activate", func() transport.Message { return new(msgActivate) })
+	transport.Register("livetopo.ping", func() transport.Message { return newMsgPing() })
+	transport.Register("livetopo.pingAck", func() transport.Message { return newMsgPingAck() })
+	transport.Register("livetopo.notify", func() transport.Message { return new(msgNotify) })
 }
 
 // Handle dispatches a transport message; false means "not ours".
-func (s *Service) Handle(from transport.Addr, msg any) bool {
+func (s *Service) Handle(from transport.Addr, msg transport.Message) bool {
 	switch m := msg.(type) {
-	case msgJoin:
+	case *msgJoin:
 		s.handleJoin(m)
-	case msgJoinAck:
+	case *msgJoinAck:
 		s.handleJoinAck(m)
-	case msgRegister:
+	case *msgRegister:
 		s.handleRegister(m)
-	case msgActivate:
+	case *msgActivate:
 		s.handleActivate(m)
-	case msgPing:
+	case *msgPing:
 		s.handlePing(m)
-	case msgPingAck:
+	case *msgPingAck:
 		s.handlePingAck(m)
-	case msgNotify:
+	case *msgNotify:
 		s.handleNotify(m)
 	default:
 		return false
@@ -83,12 +138,12 @@ func (s *Service) Handle(from transport.Addr, msg any) bool {
 	return true
 }
 
-func (s *Service) handleJoin(m msgJoin) {
+func (s *Service) handleJoin(m *msgJoin) {
 	s.install(m.ID, m.Members, false)
-	s.send(m.ID.Root.Addr, msgJoinAck{ID: m.ID, From: s.self})
+	s.send(m.ID.Root.Addr, &msgJoinAck{ID: m.ID, From: s.self})
 }
 
-func (s *Service) handleJoinAck(m msgJoinAck) {
+func (s *Service) handleJoinAck(m *msgJoinAck) {
 	c, ok := s.creating[m.ID]
 	if !ok {
 		return
@@ -105,26 +160,26 @@ func (s *Service) handleJoinAck(m msgJoinAck) {
 	c.done(c.id, nil)
 }
 
-func (s *Service) handleRegister(m msgRegister) {
+func (s *Service) handleRegister(m *msgRegister) {
 	s.registry[m.ID] = m.Members
 	s.install(m.ID, m.Members, false)
-	s.send(m.ID.Root.Addr, msgJoinAck{ID: m.ID, From: s.self})
+	s.send(m.ID.Root.Addr, &msgJoinAck{ID: m.ID, From: s.self})
 }
 
-func (s *Service) handleActivate(m msgActivate) {
+func (s *Service) handleActivate(m *msgActivate) {
 	if g, ok := s.groups[m.ID]; ok {
 		s.activate(g)
 	}
 }
 
-func (s *Service) handlePing(m msgPing) {
+func (s *Service) handlePing(m *msgPing) {
 	if _, ok := s.groups[m.ID]; !ok {
 		return // ceasing to ack is how failure propagates
 	}
-	s.send(m.From.Addr, msgPingAck{ID: m.ID, From: s.self, Seq: m.Seq})
+	s.send(m.From.Addr, newMsgPingAckFor(m.ID, s.self, m.Seq))
 }
 
-func (s *Service) handlePingAck(m msgPingAck) {
+func (s *Service) handlePingAck(m *msgPingAck) {
 	g, ok := s.groups[m.ID]
 	if !ok {
 		return
@@ -139,7 +194,7 @@ func (s *Service) handlePingAck(m msgPingAck) {
 	}
 }
 
-func (s *Service) handleNotify(m msgNotify) {
+func (s *Service) handleNotify(m *msgNotify) {
 	g, ok := s.groups[m.ID]
 	if !ok {
 		// Possibly a creation-failure notice for a group we briefly
@@ -154,7 +209,7 @@ func (s *Service) handleNotify(m msgNotify) {
 	case DirectTree:
 		if g.isRoot {
 			for _, mem := range g.members[1:] {
-				s.send(mem.Addr, msgNotify{ID: g.id})
+				s.send(mem.Addr, &msgNotify{ID: g.id})
 			}
 		}
 	case CentralServer:

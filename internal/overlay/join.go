@@ -28,12 +28,12 @@ func (n *Node) sendJoinLookup(bootstrap NodeRef) {
 	if n.stopped {
 		return
 	}
-	n.env.Send(bootstrap.Addr, msgRoute{
+	n.env.Send(bootstrap.Addr, &msgRoute{
 		Dest:    n.self.Name,
 		Origin:  n.self,
 		LastHop: n.self,
 		TTL:     n.cfg.RouteTTL,
-		Inner:   msgJoinLookup{Joiner: n.self},
+		Inner:   &msgJoinLookup{Joiner: n.self},
 	})
 	// Retry while not integrated: the bootstrap node or the reply can be
 	// lost. Integration is observable as a non-empty leaf set.
@@ -44,7 +44,7 @@ func (n *Node) sendJoinLookup(bootstrap NodeRef) {
 	})
 }
 
-func (n *Node) handleJoinReply(m msgJoinReply) {
+func (n *Node) handleJoinReply(m *msgJoinReply) {
 	n.considerLeaf(m.Pred)
 	for _, r := range m.LeafR {
 		n.considerLeaf(r)
@@ -55,7 +55,7 @@ func (n *Node) handleJoinReply(m msgJoinReply) {
 	// Announce ourselves to everyone we now consider a level-0 neighbor;
 	// they splice us into their leaf sets and reply with their own views.
 	for _, r := range n.Neighbors() {
-		n.env.Send(r.Addr, msgLevel0Insert{Node: n.self})
+		n.env.Send(r.Addr, &msgLevel0Insert{Node: n.self})
 	}
 	// Begin constructing ring pointers bottom-up.
 	n.startRingSearch(1, true)

@@ -168,8 +168,12 @@ func (n *Node) pingTick(ps *pingState) {
 		return
 	}
 	ps.seq++
-	payload := n.client.PingPayload(ps.ref)
-	n.env.Send(ps.ref.Addr, msgPing{From: n.self, Seq: ps.seq, Payload: payload})
+	// The ping record comes from the pool and aliases the client's cached
+	// payload; the transport recycles it (dropping the alias) after
+	// delivery, so the steady-state send allocates nothing.
+	m := newMsgPing()
+	m.From, m.Seq, m.Payload = n.self, ps.seq, n.client.PingPayload(ps.ref)
+	n.env.Send(ps.ref.Addr, m)
 	ps.awaiting = true
 	n.rearm(ps, n.cfg.PingTimeout)
 }
@@ -184,12 +188,14 @@ func (n *Node) rearm(ps *pingState, d time.Duration) {
 	ps.timer = n.env.After(d, func() { n.pingTick(ps) })
 }
 
-func (n *Node) handlePing(m msgPing) {
+func (n *Node) handlePing(m *msgPing) {
 	n.client.OnPingPayload(m.From, m.Payload)
-	n.env.Send(m.From.Addr, msgPingAck{From: n.self, Seq: m.Seq})
+	ack := newMsgPingAck()
+	ack.From, ack.Seq = n.self, m.Seq
+	n.env.Send(m.From.Addr, ack)
 }
 
-func (n *Node) handlePingAck(m msgPingAck) {
+func (n *Node) handlePingAck(m *msgPingAck) {
 	ps, ok := n.pings[m.From.Addr]
 	if !ok || m.Seq != ps.seq {
 		return
@@ -230,7 +236,7 @@ func (n *Node) neighborDead(ref NodeRef) {
 	half := n.cfg.LeafSize / 2
 	if len(n.leafR) < half || len(n.leafL) < half {
 		if peer, ok := n.leafRefillPeer(); ok {
-			n.env.Send(peer.Addr, msgLeafRequest{From: n.self})
+			n.env.Send(peer.Addr, &msgLeafRequest{From: n.self})
 		}
 	}
 	for _, h := range needRight {
@@ -259,16 +265,16 @@ func (n *Node) leafRefillPeer() (NodeRef, bool) {
 	return NodeRef{}, false
 }
 
-func (n *Node) handleLeafRequest(m msgLeafRequest) {
+func (n *Node) handleLeafRequest(m *msgLeafRequest) {
 	n.considerLeaf(m.From)
-	n.env.Send(m.From.Addr, msgLeafReply{
+	n.env.Send(m.From.Addr, &msgLeafReply{
 		From:  n.self,
 		LeafR: append([]NodeRef(nil), n.leafR...),
 		LeafL: append([]NodeRef(nil), n.leafL...),
 	})
 }
 
-func (n *Node) handleLeafReply(m msgLeafReply) {
+func (n *Node) handleLeafReply(m *msgLeafReply) {
 	n.considerLeaf(m.From)
 	for _, r := range m.LeafR {
 		n.considerLeaf(r)
@@ -278,10 +284,10 @@ func (n *Node) handleLeafReply(m msgLeafReply) {
 	}
 }
 
-func (n *Node) handleLevel0Insert(m msgLevel0Insert) {
+func (n *Node) handleLevel0Insert(m *msgLevel0Insert) {
 	if n.considerLeaf(m.Node) {
 		// Share our view so the newcomer discovers its neighborhood.
-		n.env.Send(m.Node.Addr, msgLeafReply{
+		n.env.Send(m.Node.Addr, &msgLeafReply{
 			From:  n.self,
 			LeafR: append([]NodeRef(nil), n.leafR...),
 			LeafL: append([]NodeRef(nil), n.leafL...),
@@ -308,7 +314,7 @@ func (n *Node) startRingSearch(level int, right bool) {
 	n.searches[key] = true
 	// Allow a retry eventually even if the search dies silently.
 	n.env.After(n.cfg.PingInterval, func() { delete(n.searches, key) })
-	n.env.Send(start.Addr, msgRingSearch{
+	n.env.Send(start.Addr, &msgRingSearch{
 		Origin:   n.self,
 		MatchLen: level,
 		WalkLeft: !right,
@@ -331,13 +337,13 @@ func (n *Node) walkNeighbor(walkLevel int, right bool) NodeRef {
 	return n.lefts[walkLevel]
 }
 
-func (n *Node) handleRingSearch(m msgRingSearch) {
+func (n *Node) handleRingSearch(m *msgRingSearch) {
 	if m.Origin.Name == n.self.Name {
 		return // walked the full circle
 	}
 	originDigits := DigitsOf(m.Origin.Name, n.cfg.Base, n.cfg.MaxLevels)
 	if SharedPrefix(n.digits, originDigits) >= m.MatchLen {
-		n.env.Send(m.Origin.Addr, msgRingFound{
+		n.env.Send(m.Origin.Addr, &msgRingFound{
 			Node:     n.self,
 			MatchLen: m.MatchLen,
 			WalkLeft: m.WalkLeft,
@@ -351,11 +357,13 @@ func (n *Node) handleRingSearch(m msgRingSearch) {
 	if next.IsZero() {
 		return
 	}
+	// Forward the record itself (it is not pooled, so handing it to a
+	// second delivery is safe) with one fewer hop in its budget.
 	m.HopsLeft--
 	n.env.Send(next.Addr, m)
 }
 
-func (n *Node) handleRingFound(m msgRingFound) {
+func (n *Node) handleRingFound(m *msgRingFound) {
 	level := m.MatchLen
 	if level < 1 || level > n.cfg.MaxLevels {
 		return
@@ -372,11 +380,11 @@ func (n *Node) handleRingFound(m msgRingFound) {
 	if m.WalkLeft {
 		n.adoptRingNeighbor(level, cand, false)
 		// We are cand's nearest clockwise ring member: become its right.
-		n.env.Send(cand.Addr, msgRingInsert{Node: n.self, Level: level, AsLeft: false})
+		n.env.Send(cand.Addr, &msgRingInsert{Node: n.self, Level: level, AsLeft: false})
 	} else {
 		n.adoptRingNeighbor(level, cand, true)
 		// We are cand's nearest counterclockwise member: become its left.
-		n.env.Send(cand.Addr, msgRingInsert{Node: n.self, Level: level, AsLeft: true})
+		n.env.Send(cand.Addr, &msgRingInsert{Node: n.self, Level: level, AsLeft: true})
 	}
 	// Climb: once a ring pointer at this level exists, the next level
 	// becomes searchable.
@@ -412,7 +420,7 @@ func (n *Node) adoptRingNeighbor(level int, cand NodeRef, right bool) bool {
 	return true
 }
 
-func (n *Node) handleRingInsert(m msgRingInsert) {
+func (n *Node) handleRingInsert(m *msgRingInsert) {
 	level := m.Level
 	if level < 1 || level > n.cfg.MaxLevels {
 		return
@@ -433,7 +441,7 @@ func (n *Node) handleRingInsert(m msgRingInsert) {
 			return
 		}
 	}
-	n.env.Send(m.Node.Addr, msgRingInsertAck{
+	n.env.Send(m.Node.Addr, &msgRingInsertAck{
 		From:      n.self,
 		Level:     level,
 		WasLeft:   m.AsLeft,
@@ -442,7 +450,7 @@ func (n *Node) handleRingInsert(m msgRingInsert) {
 	// Tell the displaced neighbor its pointer toward us now goes through
 	// the newcomer.
 	if !displaced.IsZero() && displaced.Name != m.Node.Name {
-		n.env.Send(displaced.Addr, msgSetRingNeighbor{
+		n.env.Send(displaced.Addr, &msgSetRingNeighbor{
 			Node:  m.Node,
 			Level: level,
 			Right: m.AsLeft, // we displaced our left => their right changes
@@ -450,7 +458,7 @@ func (n *Node) handleRingInsert(m msgRingInsert) {
 	}
 }
 
-func (n *Node) handleRingInsertAck(m msgRingInsertAck) {
+func (n *Node) handleRingInsertAck(m *msgRingInsertAck) {
 	level := m.Level
 	if level < 1 || level > n.cfg.MaxLevels {
 		return
@@ -471,7 +479,7 @@ func (n *Node) handleRingInsertAck(m msgRingInsertAck) {
 	n.climbFrom(level)
 }
 
-func (n *Node) handleSetRingNeighbor(m msgSetRingNeighbor) {
+func (n *Node) handleSetRingNeighbor(m *msgSetRingNeighbor) {
 	if m.Level < 1 || m.Level > n.cfg.MaxLevels {
 		return
 	}

@@ -1,13 +1,23 @@
 package overlay
 
-import "fuse/internal/transport"
+import (
+	"sync"
 
-// Wire messages. All are registered with the transport codec so the same
-// protocol code runs over the simulated and the TCP transport.
+	"fuse/internal/transport"
+)
+
+// Wire messages. Every type embeds the transport marker (via the
+// unexported alias, keeping it off the wire) and registers itself with
+// the transport codec, so the same protocol code runs over the simulated
+// and the TCP transport. Messages travel as pointers through the
+// transport.Message union; the ping-cycle pair is pool-backed so
+// steady-state liveness checking sends without heap allocation.
+type body = transport.Body
 
 // msgPing is the periodic liveness check between routing-table neighbors,
 // carrying the client's piggyback payload (FUSE's 20-byte group hash).
 type msgPing struct {
+	body
 	From    NodeRef
 	Seq     uint64
 	Payload []byte
@@ -15,30 +25,63 @@ type msgPing struct {
 
 // msgPingAck answers a ping.
 type msgPingAck struct {
+	body
 	From NodeRef
 	Seq  uint64
 }
 
+// The ping-cycle records are drawn from pools: one ping and one ack per
+// neighbor per interval is the overlay's entire steady-state traffic, and
+// pooling them (together with the transport's pooled deliveries and
+// in-place timer resets) is what makes that cycle allocation-free.
+var (
+	pingPool    = sync.Pool{New: func() any { return new(msgPing) }}
+	pingAckPool = sync.Pool{New: func() any { return new(msgPingAck) }}
+)
+
+func newMsgPing() *msgPing       { return pingPool.Get().(*msgPing) }
+func newMsgPingAck() *msgPingAck { return pingAckPool.Get().(*msgPingAck) }
+
+// Release zeroes the record - dropping the payload alias so no piggyback
+// bytes leak into a later delivery - and returns it to the pool.
+func (m *msgPing) Release() {
+	*m = msgPing{}
+	pingPool.Put(m)
+}
+
+func (m *msgPingAck) Release() {
+	*m = msgPingAck{}
+	pingAckPool.Put(m)
+}
+
+var (
+	_ transport.Pooled = (*msgPing)(nil)
+	_ transport.Pooled = (*msgPingAck)(nil)
+)
+
 // msgRoute carries a payload through the overlay toward a destination
 // name, hop by hop.
 type msgRoute struct {
+	body
 	Dest    string
 	Origin  NodeRef
 	LastHop NodeRef
 	Hops    int
 	TTL     int
-	Inner   any
+	Inner   transport.Message
 }
 
 // msgJoinLookup is routed toward the joiner's own name; the node at which
 // routing stops (the joiner's future predecessor) answers with the state
 // the joiner needs to insert itself.
 type msgJoinLookup struct {
+	body
 	Joiner NodeRef
 }
 
 // msgJoinReply carries the predecessor's view to the joiner.
 type msgJoinReply struct {
+	body
 	Pred  NodeRef
 	LeafR []NodeRef
 	LeafL []NodeRef
@@ -47,17 +90,20 @@ type msgJoinReply struct {
 // msgLevel0Insert announces a new node to its level-0 neighborhood; the
 // recipients splice it into their leaf sets.
 type msgLevel0Insert struct {
+	body
 	Node NodeRef
 }
 
 // msgLeafRequest asks a peer for its leaf sets (used to refill a depleted
 // leaf set after failures).
 type msgLeafRequest struct {
+	body
 	From NodeRef
 }
 
 // msgLeafReply returns the peer's leaf sets.
 type msgLeafReply struct {
+	body
 	From  NodeRef
 	LeafR []NodeRef
 	LeafL []NodeRef
@@ -67,6 +113,7 @@ type msgLeafReply struct {
 // numeric ID extends the origin's prefix to MatchLen digits; that node
 // becomes the origin's ring neighbor at MatchLen.
 type msgRingSearch struct {
+	body
 	Origin   NodeRef
 	MatchLen int
 	WalkLeft bool // walk counterclockwise (searching for a left neighbor)
@@ -75,6 +122,7 @@ type msgRingSearch struct {
 
 // msgRingFound answers a ring search.
 type msgRingFound struct {
+	body
 	Node     NodeRef
 	MatchLen int
 	WalkLeft bool
@@ -84,6 +132,7 @@ type msgRingFound struct {
 // adjacent to the recipient; the recipient splices it in as its left or
 // right neighbor at that level.
 type msgRingInsert struct {
+	body
 	Node   NodeRef
 	Level  int
 	AsLeft bool // true: Node becomes recipient's left neighbor
@@ -92,6 +141,7 @@ type msgRingInsert struct {
 // msgRingInsertAck confirms a ring insert and tells the joiner its other
 // neighbor at the level (the recipient's displaced pointer).
 type msgRingInsertAck struct {
+	body
 	From      NodeRef
 	Level     int
 	WasLeft   bool // recipient spliced Node in as its left neighbor
@@ -101,66 +151,67 @@ type msgRingInsertAck struct {
 // msgSetRingNeighbor directs the recipient to replace its pointer at
 // Level.
 type msgSetRingNeighbor struct {
+	body
 	Node  NodeRef
 	Level int
 	Right bool // set recipient's right pointer (else left)
 }
 
 func init() {
-	transport.RegisterPayload(msgPing{})
-	transport.RegisterPayload(msgPingAck{})
-	transport.RegisterPayload(msgRoute{})
-	transport.RegisterPayload(msgJoinLookup{})
-	transport.RegisterPayload(msgJoinReply{})
-	transport.RegisterPayload(msgLevel0Insert{})
-	transport.RegisterPayload(msgLeafRequest{})
-	transport.RegisterPayload(msgLeafReply{})
-	transport.RegisterPayload(msgRingSearch{})
-	transport.RegisterPayload(msgRingFound{})
-	transport.RegisterPayload(msgRingInsert{})
-	transport.RegisterPayload(msgRingInsertAck{})
-	transport.RegisterPayload(msgSetRingNeighbor{})
+	transport.Register("overlay.ping", func() transport.Message { return newMsgPing() })
+	transport.Register("overlay.pingAck", func() transport.Message { return newMsgPingAck() })
+	transport.Register("overlay.route", func() transport.Message { return new(msgRoute) })
+	transport.Register("overlay.joinLookup", func() transport.Message { return new(msgJoinLookup) })
+	transport.Register("overlay.joinReply", func() transport.Message { return new(msgJoinReply) })
+	transport.Register("overlay.level0Insert", func() transport.Message { return new(msgLevel0Insert) })
+	transport.Register("overlay.leafRequest", func() transport.Message { return new(msgLeafRequest) })
+	transport.Register("overlay.leafReply", func() transport.Message { return new(msgLeafReply) })
+	transport.Register("overlay.ringSearch", func() transport.Message { return new(msgRingSearch) })
+	transport.Register("overlay.ringFound", func() transport.Message { return new(msgRingFound) })
+	transport.Register("overlay.ringInsert", func() transport.Message { return new(msgRingInsert) })
+	transport.Register("overlay.ringInsertAck", func() transport.Message { return new(msgRingInsertAck) })
+	transport.Register("overlay.setRingNeighbor", func() transport.Message { return new(msgSetRingNeighbor) })
 }
 
 // Handle dispatches an incoming transport message to the overlay. It
 // returns false when the message is not an overlay message, so a node's
 // top-level handler can try other protocol layers.
-func (n *Node) Handle(from transport.Addr, msg any) bool {
+func (n *Node) Handle(from transport.Addr, msg transport.Message) bool {
 	if n.stopped {
 		// Still claim overlay messages so they are not misrouted to
 		// other layers.
 		switch msg.(type) {
-		case msgPing, msgPingAck, msgRoute, msgJoinLookup, msgJoinReply,
-			msgLevel0Insert, msgLeafRequest, msgLeafReply, msgRingSearch,
-			msgRingFound, msgRingInsert, msgRingInsertAck, msgSetRingNeighbor:
+		case *msgPing, *msgPingAck, *msgRoute, *msgJoinLookup, *msgJoinReply,
+			*msgLevel0Insert, *msgLeafRequest, *msgLeafReply, *msgRingSearch,
+			*msgRingFound, *msgRingInsert, *msgRingInsertAck, *msgSetRingNeighbor:
 			return true
 		}
 		return false
 	}
 	switch m := msg.(type) {
-	case msgPing:
+	case *msgPing:
 		n.handlePing(m)
-	case msgPingAck:
+	case *msgPingAck:
 		n.handlePingAck(m)
-	case msgRoute:
+	case *msgRoute:
 		n.handleRoute(m)
-	case msgJoinReply:
+	case *msgJoinReply:
 		n.handleJoinReply(m)
-	case msgLevel0Insert:
+	case *msgLevel0Insert:
 		n.handleLevel0Insert(m)
-	case msgLeafRequest:
+	case *msgLeafRequest:
 		n.handleLeafRequest(m)
-	case msgLeafReply:
+	case *msgLeafReply:
 		n.handleLeafReply(m)
-	case msgRingSearch:
+	case *msgRingSearch:
 		n.handleRingSearch(m)
-	case msgRingFound:
+	case *msgRingFound:
 		n.handleRingFound(m)
-	case msgRingInsert:
+	case *msgRingInsert:
 		n.handleRingInsert(m)
-	case msgRingInsertAck:
+	case *msgRingInsertAck:
 		n.handleRingInsertAck(m)
-	case msgSetRingNeighbor:
+	case *msgSetRingNeighbor:
 		n.handleSetRingNeighbor(m)
 	default:
 		return false

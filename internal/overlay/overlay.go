@@ -104,7 +104,7 @@ type Client interface {
 	// OnRouteMessage is invoked for a client message at every
 	// intermediate hop, at the destination, and at the node where
 	// routing dies. Forwarding happens after the upcall returns.
-	OnRouteMessage(msg any, info RouteInfo)
+	OnRouteMessage(msg transport.Message, info RouteInfo)
 
 	// PingPayload supplies the piggyback content for a liveness ping
 	// about to be sent to neighbor. A nil return piggybacks nothing.
@@ -123,10 +123,10 @@ type Client interface {
 // nopClient lets a Node run without an attached client.
 type nopClient struct{}
 
-func (nopClient) OnRouteMessage(any, RouteInfo) {}
-func (nopClient) PingPayload(NodeRef) []byte    { return nil }
-func (nopClient) OnPingPayload(NodeRef, []byte) {}
-func (nopClient) OnNeighborDown(NodeRef)        {}
+func (nopClient) OnRouteMessage(transport.Message, RouteInfo) {}
+func (nopClient) PingPayload(NodeRef) []byte                  { return nil }
+func (nopClient) OnPingPayload(NodeRef, []byte)               {}
+func (nopClient) OnNeighborDown(NodeRef)                      {}
 
 // Node is one overlay participant. It must only be touched from its Env's
 // event loop (message handler and timer callbacks).

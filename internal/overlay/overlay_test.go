@@ -22,16 +22,29 @@ type cluster struct {
 	byName  map[string]*Node
 }
 
+// probeMsg is a test-only routed payload: arbitrary values cannot cross
+// the transport any more, so the routing tests register one probe type.
+type probeMsg struct {
+	body
+	S string
+}
+
+func init() {
+	transport.Register("overlay.test.probe", func() transport.Message { return new(probeMsg) })
+}
+
+func probe(s string) *probeMsg { return &probeMsg{S: s} }
+
 // recClient records upcalls for assertions.
 type recClient struct {
 	routes    []RouteInfo
 	payloads  map[string][]byte // last payload per pinger name
 	down      []NodeRef
 	provide   func(neighbor NodeRef) []byte
-	onMessage func(msg any, info RouteInfo)
+	onMessage func(msg transport.Message, info RouteInfo)
 }
 
-func (c *recClient) OnRouteMessage(msg any, info RouteInfo) {
+func (c *recClient) OnRouteMessage(msg transport.Message, info RouteInfo) {
 	c.routes = append(c.routes, info)
 	if c.onMessage != nil {
 		c.onMessage(msg, info)
@@ -73,7 +86,7 @@ func newCluster(t testing.TB, n int, seed int64, cfg Config) *cluster {
 		cl.clients = append(cl.clients, rc)
 		cl.byName[nd.Self().Name] = nd
 		func(nd *Node) {
-			net.SetHandler(addr, func(from transport.Addr, msg any) {
+			net.SetHandler(addr, func(from transport.Addr, msg transport.Message) {
 				nd.Handle(from, msg)
 			})
 		}(nd)
@@ -208,7 +221,7 @@ func TestRoutingReachesEveryNode(t *testing.T) {
 			}
 			rc := cl.clients[j]
 			before := len(rc.routes)
-			src.RouteTo(dst.Self().Name, "probe")
+			src.RouteTo(dst.Self().Name, probe("probe"))
 			cl.sim.RunFor(time.Minute)
 			if len(rc.routes) <= before {
 				t.Fatalf("route %s -> %s never arrived", src.Self().Name, dst.Self().Name)
@@ -232,7 +245,7 @@ func TestRouteToAbsentNameDiesAtPredecessor(t *testing.T) {
 	cl.assemble()
 	src := cl.nodes[0]
 	dead := "n999.example.org" // sorts after every real node name
-	src.RouteTo(dead, "probe")
+	src.RouteTo(dead, probe("probe"))
 	cl.sim.RunFor(time.Minute)
 	found := false
 	for i, rc := range cl.clients {
@@ -258,7 +271,7 @@ func TestRouteToAbsentNameDiesAtPredecessor(t *testing.T) {
 func TestRouteToSelfDeliversLocally(t *testing.T) {
 	cl := newCluster(t, 8, 5, DefaultConfig())
 	cl.assemble()
-	cl.nodes[0].RouteTo(cl.nodes[0].Self().Name, "loop")
+	cl.nodes[0].RouteTo(cl.nodes[0].Self().Name, probe("loop"))
 	cl.sim.RunFor(time.Second)
 	rc := cl.clients[0]
 	if len(rc.routes) != 1 || !rc.routes[0].Arrived {
@@ -270,7 +283,7 @@ func TestPerHopUpcallChain(t *testing.T) {
 	cl := newCluster(t, 64, 6, DefaultConfig())
 	cl.assemble()
 	src, dst := cl.nodes[3], cl.nodes[40]
-	first, ok := src.RouteTo(dst.Self().Name, "chain")
+	first, ok := src.RouteTo(dst.Self().Name, probe("chain"))
 	if !ok {
 		t.Fatal("no first hop")
 	}
@@ -432,7 +445,7 @@ func TestRoutingSurvivesCrashes(t *testing.T) {
 		src, dst := cl.nodes[i], cl.nodes[j]
 		rc := cl.clients[j]
 		before := len(rc.routes)
-		src.RouteTo(dst.Self().Name, trial)
+		src.RouteTo(dst.Self().Name, probe(fmt.Sprint(trial)))
 		cl.sim.RunFor(time.Minute)
 		if len(rc.routes) <= before || !rc.routes[len(rc.routes)-1].Arrived {
 			t.Fatalf("route %s -> %s failed after crashes", src.Self().Name, dst.Self().Name)
@@ -461,7 +474,7 @@ func TestJoinIntegratesNewNodes(t *testing.T) {
 		nd.SetClient(rc)
 		cl.byName[nd.Self().Name] = nd
 		func(nd *Node) {
-			cl.net.SetHandler(addr, func(from transport.Addr, msg any) { nd.Handle(from, msg) })
+			cl.net.SetHandler(addr, func(from transport.Addr, msg transport.Message) { nd.Handle(from, msg) })
 		}(nd)
 		nd.Join(cl.nodes[k%len(cl.nodes)].Self())
 		newNodes = append(newNodes, nd)
@@ -479,7 +492,7 @@ func TestJoinIntegratesNewNodes(t *testing.T) {
 	// Routing works old->new, new->old, and new->new.
 	check := func(src *Node, dstIdxClients *recClient, dst *Node) {
 		before := len(dstIdxClients.routes)
-		src.RouteTo(dst.Self().Name, "x")
+		src.RouteTo(dst.Self().Name, probe("x"))
 		cl.sim.RunFor(time.Minute)
 		if len(dstIdxClients.routes) <= before || !dstIdxClients.routes[len(dstIdxClients.routes)-1].Arrived {
 			t.Fatalf("route %s -> %s failed", src.Self().Name, dst.Self().Name)
@@ -600,7 +613,7 @@ func TestLeafRefillAfterMassCrash(t *testing.T) {
 	src, dst := cl.nodes[5], cl.nodes[30]
 	rc := cl.clients[30]
 	before := len(rc.routes)
-	src.RouteTo(dst.Self().Name, "post-crash")
+	src.RouteTo(dst.Self().Name, probe("post-crash"))
 	cl.sim.RunFor(time.Minute)
 	if len(rc.routes) <= before || !rc.routes[len(rc.routes)-1].Arrived {
 		t.Fatal("routing broken after mass crash")

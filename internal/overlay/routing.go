@@ -1,5 +1,7 @@
 package overlay
 
+import "fuse/internal/transport"
+
 // Routing: clockwise greedy routing by name. At each hop the node picks,
 // among its routing-table entries, the one that makes the most clockwise
 // progress toward the destination without passing it. The higher-level
@@ -50,7 +52,7 @@ func (n *Node) NextHop(dest string) (NodeRef, bool) {
 //
 // The first-hop return value is how FUSE learns the first link of an
 // InstallChecking path so the sending member can monitor it.
-func (n *Node) RouteTo(dest string, inner any) (first NodeRef, ok bool) {
+func (n *Node) RouteTo(dest string, inner transport.Message) (first NodeRef, ok bool) {
 	if dest == n.self.Name {
 		self := n.self
 		n.env.After(0, func() {
@@ -70,7 +72,7 @@ func (n *Node) RouteTo(dest string, inner any) (first NodeRef, ok bool) {
 		return NodeRef{}, false
 	}
 	n.routedSent++
-	n.env.Send(next.Addr, msgRoute{
+	n.env.Send(next.Addr, &msgRoute{
 		Dest:    dest,
 		Origin:  n.self,
 		LastHop: n.self,
@@ -83,10 +85,10 @@ func (n *Node) RouteTo(dest string, inner any) (first NodeRef, ok bool) {
 
 // handleRoute processes one hop of a routed message: deliver here, forward
 // with an upcall, or die here with an upcall.
-func (n *Node) handleRoute(m msgRoute) {
+func (n *Node) handleRoute(m *msgRoute) {
 	// Overlay-internal routed payloads are handled without client
 	// upcalls.
-	if lookup, isJoin := m.Inner.(msgJoinLookup); isJoin {
+	if lookup, isJoin := m.Inner.(*msgJoinLookup); isJoin {
 		n.routeJoinLookup(m, lookup)
 		return
 	}
@@ -121,7 +123,7 @@ func (n *Node) handleRoute(m msgRoute) {
 		Hops: m.Hops,
 	})
 	n.routedSent++
-	n.env.Send(next.Addr, msgRoute{
+	n.env.Send(next.Addr, &msgRoute{
 		Dest:    m.Dest,
 		Origin:  m.Origin,
 		LastHop: n.self,
@@ -133,7 +135,7 @@ func (n *Node) handleRoute(m msgRoute) {
 
 // routeJoinLookup forwards a join lookup or, if this node is the closest
 // to the joiner's name, answers it with the joiner's future neighborhood.
-func (n *Node) routeJoinLookup(m msgRoute, lookup msgJoinLookup) {
+func (n *Node) routeJoinLookup(m *msgRoute, lookup *msgJoinLookup) {
 	if m.Dest == n.self.Name && m.Dest != lookup.Joiner.Name {
 		// Name resolution landed on an existing node with the joiner's
 		// name: duplicate names are a deployment error.
@@ -151,7 +153,7 @@ func (n *Node) routeJoinLookup(m msgRoute, lookup msgJoinLookup) {
 	}
 	if !ok || m.TTL <= 0 {
 		// This node is the joiner's predecessor-to-be.
-		n.env.Send(lookup.Joiner.Addr, msgJoinReply{
+		n.env.Send(lookup.Joiner.Addr, &msgJoinReply{
 			Pred:  n.self,
 			LeafR: append([]NodeRef(nil), n.leafR...),
 			LeafL: append([]NodeRef(nil), n.leafL...),
@@ -159,7 +161,7 @@ func (n *Node) routeJoinLookup(m msgRoute, lookup msgJoinLookup) {
 		return
 	}
 	n.routedSent++
-	n.env.Send(next.Addr, msgRoute{
+	n.env.Send(next.Addr, &msgRoute{
 		Dest:    m.Dest,
 		Origin:  m.Origin,
 		LastHop: n.self,

@@ -11,8 +11,12 @@ import (
 	"fuse/internal/transport"
 )
 
-// Request is the wire request frame. Body is application-defined.
+// Request is the wire request frame. Body is application-defined; over a
+// byte-oriented transport its concrete type must be gob-registered by the
+// application (interface-typed fields ride gob's type registry, not the
+// transport's).
 type Request struct {
+	body
 	Seq  uint64
 	From string
 	Body any
@@ -20,13 +24,16 @@ type Request struct {
 
 // Response is the wire response frame.
 type Response struct {
+	body
 	Seq  uint64
 	Body any
 }
 
+type body = transport.Body
+
 func init() {
-	transport.RegisterPayload(Request{})
-	transport.RegisterPayload(Response{})
+	transport.Register("rpcx.request", func() transport.Message { return new(Request) })
+	transport.Register("rpcx.response", func() transport.Message { return new(Response) })
 }
 
 // HandlerFunc computes a response body from a request body.
@@ -72,19 +79,19 @@ func (p *Peer) Call(to transport.Addr, body any, timeout time.Duration, done fun
 		delete(p.pending, seq)
 		done(nil, ErrTimeout{Elapsed: p.env.Now().Sub(c.started)})
 	})
-	p.env.Send(to, Request{Seq: seq, From: string(p.env.Addr()), Body: body})
+	p.env.Send(to, &Request{Seq: seq, From: string(p.env.Addr()), Body: body})
 }
 
 // Handle dispatches transport messages; false means "not ours".
-func (p *Peer) Handle(from transport.Addr, msg any) bool {
+func (p *Peer) Handle(from transport.Addr, msg transport.Message) bool {
 	switch m := msg.(type) {
-	case Request:
+	case *Request:
 		var body any
 		if p.serve != nil {
 			body = p.serve(from, m.Body)
 		}
-		p.env.Send(transport.Addr(m.From), Response{Seq: m.Seq, Body: body})
-	case Response:
+		p.env.Send(transport.Addr(m.From), &Response{Seq: m.Seq, Body: body})
+	case *Response:
 		c, ok := p.pending[m.Seq]
 		if !ok {
 			return true // late response after timeout

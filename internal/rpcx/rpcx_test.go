@@ -29,7 +29,7 @@ func pair(t *testing.T, seed int64) (*eventsim.Sim, *simnet.Net, [2]*rpcx.Peer) 
 		})
 		peers[i] = p
 		func(p *rpcx.Peer) {
-			net.SetHandler(name, func(from transport.Addr, msg any) { p.Handle(from, msg) })
+			net.SetHandler(name, func(from transport.Addr, msg transport.Message) { p.Handle(from, msg) })
 		}(p)
 	}
 	return sim, net, peers
@@ -109,8 +109,8 @@ func TestNilServerStillAcks(t *testing.T) {
 	envB := net.AddNode("b", pts[1])
 	pa := rpcx.New(envA, nil)
 	pb := rpcx.New(envB, nil)
-	net.SetHandler("a", func(f transport.Addr, m any) { pa.Handle(f, m) })
-	net.SetHandler("b", func(f transport.Addr, m any) { pb.Handle(f, m) })
+	net.SetHandler("a", func(f transport.Addr, m transport.Message) { pa.Handle(f, m) })
+	net.SetHandler("b", func(f transport.Addr, m transport.Message) { pb.Handle(f, m) })
 	ok := false
 	pa.Call("b", "ping", time.Minute, func(body any, err error) { ok = err == nil && body == nil })
 	sim.Run()

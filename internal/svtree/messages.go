@@ -6,9 +6,15 @@ import (
 	"fuse/internal/transport"
 )
 
+// Wire messages. Each embeds the transport marker (via the unexported
+// alias, kept off the wire) and joins the transport.Message union as a
+// pointer record.
+type body = transport.Body
+
 // msgSubscribe walks hop-by-hop toward the topic root, accumulating the
 // bypassed path (the overlay's visible routing table supplies each hop).
 type msgSubscribe struct {
+	body
 	Topic      string
 	Subscriber overlay.NodeRef
 	Version    uint64
@@ -19,6 +25,7 @@ type msgSubscribe struct {
 // msgAdopted tells the subscriber its walk succeeded: the parent created
 // the content link and its guarding FUSE group.
 type msgAdopted struct {
+	body
 	Topic   string
 	Version uint64
 	Parent  overlay.NodeRef
@@ -28,6 +35,7 @@ type msgAdopted struct {
 // msgAttachFailed tells the subscriber its walk died; it retries after
 // the reattach delay.
 type msgAttachFailed struct {
+	body
 	Topic   string
 	Version uint64
 }
@@ -35,12 +43,14 @@ type msgAttachFailed struct {
 // msgLinkInfo gives a bypassed volunteer the FUSE ID guarding the link
 // through it, so it can garbage-collect on notification.
 type msgLinkInfo struct {
+	body
 	Topic string
 	Group core.GroupID
 }
 
 // msgPublish walks an event toward the topic root.
 type msgPublish struct {
+	body
 	Topic     string
 	Publisher string
 	Seq       uint64
@@ -50,6 +60,7 @@ type msgPublish struct {
 
 // msgContent carries an event down a content link.
 type msgContent struct {
+	body
 	Topic     string
 	Publisher string
 	Seq       uint64
@@ -57,36 +68,36 @@ type msgContent struct {
 }
 
 func init() {
-	transport.RegisterPayload(msgSubscribe{})
-	transport.RegisterPayload(msgAdopted{})
-	transport.RegisterPayload(msgAttachFailed{})
-	transport.RegisterPayload(msgLinkInfo{})
-	transport.RegisterPayload(msgPublish{})
-	transport.RegisterPayload(msgContent{})
+	transport.Register("svtree.subscribe", func() transport.Message { return new(msgSubscribe) })
+	transport.Register("svtree.adopted", func() transport.Message { return new(msgAdopted) })
+	transport.Register("svtree.attachFailed", func() transport.Message { return new(msgAttachFailed) })
+	transport.Register("svtree.linkInfo", func() transport.Message { return new(msgLinkInfo) })
+	transport.Register("svtree.publish", func() transport.Message { return new(msgPublish) })
+	transport.Register("svtree.content", func() transport.Message { return new(msgContent) })
 }
 
 // Handle dispatches a transport message; false means "not ours".
-func (s *Service) Handle(from transport.Addr, msg any) bool {
+func (s *Service) Handle(from transport.Addr, msg transport.Message) bool {
 	switch m := msg.(type) {
-	case msgSubscribe:
+	case *msgSubscribe:
 		s.forwardSubscribe(m)
-	case msgAdopted:
+	case *msgAdopted:
 		s.handleAdopted(m)
-	case msgAttachFailed:
+	case *msgAttachFailed:
 		s.handleAttachFailed(m)
-	case msgLinkInfo:
+	case *msgLinkInfo:
 		s.handleLinkInfo(m)
-	case msgPublish:
+	case *msgPublish:
 		s.routePublish(m)
-	case msgContent:
-		s.disseminate(msgPublish{Topic: m.Topic, Publisher: m.Publisher, Seq: m.Seq, Data: m.Data})
+	case *msgContent:
+		s.disseminate(&msgPublish{Topic: m.Topic, Publisher: m.Publisher, Seq: m.Seq, Data: m.Data})
 	default:
 		return false
 	}
 	return true
 }
 
-func (s *Service) handleAdopted(m msgAdopted) {
+func (s *Service) handleAdopted(m *msgAdopted) {
 	t := s.topic(m.Topic)
 	if m.Version != t.version || !t.subscribed {
 		// A stale adoption (we already moved on): disown it so the
@@ -102,7 +113,7 @@ func (s *Service) handleAdopted(m msgAdopted) {
 	s.fuse.RegisterFailureHandler(func(core.Notice) { s.parentLinkFailed(t, v) }, m.Group)
 }
 
-func (s *Service) handleAttachFailed(m msgAttachFailed) {
+func (s *Service) handleAttachFailed(m *msgAttachFailed) {
 	t := s.topic(m.Topic)
 	if m.Version != t.version || t.attached || !t.subscribed {
 		return
@@ -111,7 +122,7 @@ func (s *Service) handleAttachFailed(m msgAttachFailed) {
 }
 
 // handleLinkInfo installs volunteer state guarded by the link's group.
-func (s *Service) handleLinkInfo(m msgLinkInfo) {
+func (s *Service) handleLinkInfo(m *msgLinkInfo) {
 	t := s.topic(m.Topic)
 	t.bypass[m.Group] = true
 	s.fuse.RegisterFailureHandler(func(core.Notice) {

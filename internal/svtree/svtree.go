@@ -155,7 +155,7 @@ func (s *Service) attach(t *topicState) {
 	}
 	t.version++
 	v := t.version
-	msg := msgSubscribe{
+	msg := &msgSubscribe{
 		Topic:      t.name,
 		Subscriber: s.self,
 		Version:    v,
@@ -168,7 +168,7 @@ func (s *Service) attach(t *topicState) {
 // forwardSubscribe advances a subscription walk from this node: adopt the
 // subscriber if this node is in the tree (or the root), otherwise step to
 // the next overlay hop.
-func (s *Service) forwardSubscribe(m msgSubscribe) {
+func (s *Service) forwardSubscribe(m *msgSubscribe) {
 	t := s.topic(m.Topic)
 	inTree := (t.subscribed && t.attached) || s.isOwner(m.Topic)
 	if inTree && m.Subscriber.Name != s.self.Name {
@@ -178,7 +178,7 @@ func (s *Service) forwardSubscribe(m msgSubscribe) {
 	next, ok := s.ov.NextHop(m.Topic)
 	if !ok || m.TTL <= 0 {
 		// Walk died (routing hole): tell the subscriber to retry.
-		s.env.Send(m.Subscriber.Addr, msgAttachFailed{Topic: m.Topic, Version: m.Version})
+		s.env.Send(m.Subscriber.Addr, &msgAttachFailed{Topic: m.Topic, Version: m.Version})
 		return
 	}
 	if m.Subscriber.Name != s.self.Name {
@@ -190,20 +190,20 @@ func (s *Service) forwardSubscribe(m msgSubscribe) {
 
 // adopt creates the content link and its guarding FUSE group: members are
 // the subscriber, the bypassed path nodes, and this parent.
-func (s *Service) adopt(t *topicState, m msgSubscribe) {
+func (s *Service) adopt(t *topicState, m *msgSubscribe) {
 	members := append(append([]overlay.NodeRef{}, m.Path...), s.self)
 	s.fuse.CreateGroup(members, func(id core.GroupID, err error) {
 		if err != nil {
-			s.env.Send(m.Subscriber.Addr, msgAttachFailed{Topic: m.Topic, Version: m.Version})
+			s.env.Send(m.Subscriber.Addr, &msgAttachFailed{Topic: m.Topic, Version: m.Version})
 			return
 		}
 		s.GroupSizes = append(s.GroupSizes, len(members))
 		t.children[m.Subscriber.Name] = &childLink{child: m.Subscriber, group: id, version: m.Version}
 		s.fuse.RegisterFailureHandler(func(core.Notice) { s.childLinkFailed(t, m.Subscriber.Name, id) }, id)
-		s.env.Send(m.Subscriber.Addr, msgAdopted{Topic: m.Topic, Version: m.Version, Parent: s.self, Group: id})
+		s.env.Send(m.Subscriber.Addr, &msgAdopted{Topic: m.Topic, Version: m.Version, Parent: s.self, Group: id})
 		// Tell the bypassed volunteers what state to guard.
 		for _, p := range m.Path[1:] {
-			s.env.Send(p.Addr, msgLinkInfo{Topic: m.Topic, Group: id})
+			s.env.Send(p.Addr, &msgLinkInfo{Topic: m.Topic, Group: id})
 		}
 	})
 }
@@ -258,10 +258,10 @@ func (s *Service) Publish(topic string, data any) {
 	t := s.topic(topic)
 	seq := t.lastSeq[s.self.Name] + 1
 	t.lastSeq[s.self.Name] = seq
-	s.routePublish(msgPublish{Topic: topic, Publisher: s.self.Name, Seq: seq, Data: data, TTL: s.cfg.HopTTL})
+	s.routePublish(&msgPublish{Topic: topic, Publisher: s.self.Name, Seq: seq, Data: data, TTL: s.cfg.HopTTL})
 }
 
-func (s *Service) routePublish(m msgPublish) {
+func (s *Service) routePublish(m *msgPublish) {
 	next, ok := s.ov.NextHop(m.Topic)
 	if !ok {
 		// This node is the root: fan out (and deliver locally if
@@ -277,7 +277,7 @@ func (s *Service) routePublish(m msgPublish) {
 }
 
 // disseminate delivers locally and forwards down all content links.
-func (s *Service) disseminate(m msgPublish) {
+func (s *Service) disseminate(m *msgPublish) {
 	t := s.topic(m.Topic)
 	if t.lastSeq[m.Publisher] >= m.Seq && m.Publisher != s.self.Name {
 		return // duplicate
@@ -288,7 +288,7 @@ func (s *Service) disseminate(m msgPublish) {
 		t.deliver(m.Data)
 	}
 	for _, cl := range t.children {
-		s.env.Send(cl.child.Addr, msgContent{Topic: m.Topic, Publisher: m.Publisher, Seq: m.Seq, Data: m.Data})
+		s.env.Send(cl.child.Addr, &msgContent{Topic: m.Topic, Publisher: m.Publisher, Seq: m.Seq, Data: m.Data})
 	}
 }
 

@@ -29,7 +29,7 @@ func newRig(t testing.TB, n int, seed int64) *rig {
 }
 
 func (r *rig) installHandler(nd *cluster.Node, svc *svtree.Service) {
-	r.c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg any) {
+	r.c.Net.SetHandler(nd.Addr, func(from transport.Addr, msg transport.Message) {
 		if nd.Overlay.Handle(from, msg) {
 			return
 		}

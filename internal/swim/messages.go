@@ -5,8 +5,14 @@ import (
 	"fuse/internal/transport"
 )
 
+// Wire messages. Each embeds the transport marker (via the unexported
+// alias, kept off the wire) and joins the transport.Message union as a
+// pointer record.
+type body = transport.Body
+
 // msgPing is the direct probe.
 type msgPing struct {
+	body
 	From    overlay.NodeRef
 	Seq     uint64
 	Updates []Update
@@ -14,6 +20,7 @@ type msgPing struct {
 
 // msgAck answers a direct probe.
 type msgAck struct {
+	body
 	From    overlay.NodeRef
 	Seq     uint64
 	Updates []Update
@@ -23,6 +30,7 @@ type msgAck struct {
 // (SWIM's indirect probe, which masks intransitive connectivity between
 // the requester and the target).
 type msgPingReq struct {
+	body
 	From    overlay.NodeRef
 	Target  overlay.NodeRef
 	Seq     uint64
@@ -31,6 +39,7 @@ type msgPingReq struct {
 
 // msgIndirectAck relays a successful proxy probe back to the requester.
 type msgIndirectAck struct {
+	body
 	From    overlay.NodeRef
 	Target  string
 	Seq     uint64
@@ -38,34 +47,34 @@ type msgIndirectAck struct {
 }
 
 func init() {
-	transport.RegisterPayload(msgPing{})
-	transport.RegisterPayload(msgAck{})
-	transport.RegisterPayload(msgPingReq{})
-	transport.RegisterPayload(msgIndirectAck{})
+	transport.Register("swim.ping", func() transport.Message { return new(msgPing) })
+	transport.Register("swim.ack", func() transport.Message { return new(msgAck) })
+	transport.Register("swim.pingReq", func() transport.Message { return new(msgPingReq) })
+	transport.Register("swim.indirectAck", func() transport.Message { return new(msgIndirectAck) })
 }
 
 // Handle dispatches a transport message; false means "not ours".
-func (s *Service) Handle(from transport.Addr, msg any) bool {
+func (s *Service) Handle(from transport.Addr, msg transport.Message) bool {
 	if s.stopped {
 		switch msg.(type) {
-		case msgPing, msgAck, msgPingReq, msgIndirectAck:
+		case *msgPing, *msgAck, *msgPingReq, *msgIndirectAck:
 			return true
 		}
 		return false
 	}
 	switch m := msg.(type) {
-	case msgPing:
+	case *msgPing:
 		s.applyAll(m.Updates)
-		s.send(m.From.Addr, msgAck{From: s.self, Seq: m.Seq, Updates: s.takeGossip()})
-	case msgAck:
+		s.send(m.From.Addr, &msgAck{From: s.self, Seq: m.Seq, Updates: s.takeGossip()})
+	case *msgAck:
 		s.applyAll(m.Updates)
 		if !s.relayAck(m.From, m.Seq) {
 			s.handleAck(m.From.Name, m.Seq)
 		}
-	case msgPingReq:
+	case *msgPingReq:
 		s.applyAll(m.Updates)
 		s.handlePingReq(m)
-	case msgIndirectAck:
+	case *msgIndirectAck:
 		s.applyAll(m.Updates)
 		s.handleAck(m.Target, m.Seq)
 	default:
@@ -90,16 +99,16 @@ func (s *Service) handleAck(target string, seq uint64) {
 
 // handlePingReq performs a proxy probe: ping the target with a private
 // sequence number; if the target acks, relay to the requester.
-func (s *Service) handlePingReq(m msgPingReq) {
+func (s *Service) handlePingReq(m *msgPingReq) {
 	s.probeSeqRelay(m)
 }
 
-func (s *Service) probeSeqRelay(m msgPingReq) {
+func (s *Service) probeSeqRelay(m *msgPingReq) {
 	// Use a dedicated relay sequence space: the high bit distinguishes
 	// relayed probes from our own.
 	relaySeq := m.Seq | 1<<63
 	s.relays[relaySeq] = relay{requester: m.From, target: m.Target.Name}
-	s.send(m.Target.Addr, msgPing{From: s.self, Seq: relaySeq, Updates: s.takeGossip()})
+	s.send(m.Target.Addr, &msgPing{From: s.self, Seq: relaySeq, Updates: s.takeGossip()})
 	// Forget the relay after a protocol period either way.
 	s.env.After(s.cfg.ProtocolPeriod, func() { delete(s.relays, relaySeq) })
 }
@@ -112,6 +121,6 @@ func (s *Service) relayAck(from overlay.NodeRef, seq uint64) bool {
 		return false
 	}
 	delete(s.relays, seq)
-	s.send(r.requester.Addr, msgIndirectAck{From: s.self, Target: r.target, Seq: seq &^ (1 << 63), Updates: s.takeGossip()})
+	s.send(r.requester.Addr, &msgIndirectAck{From: s.self, Target: r.target, Seq: seq &^ (1 << 63), Updates: s.takeGossip()})
 	return true
 }

@@ -207,7 +207,7 @@ func stopT(t transport.Timer) {
 	}
 }
 
-func (s *Service) send(to transport.Addr, msg any) {
+func (s *Service) send(to transport.Addr, msg transport.Message) {
 	if s.stopped {
 		return
 	}
@@ -238,7 +238,7 @@ func (s *Service) startRound() {
 	s.probeSeq++
 	seq := s.probeSeq
 	s.probes[seq] = target
-	s.send(m.ref.Addr, msgPing{From: s.self, Seq: seq, Updates: s.takeGossip()})
+	s.send(m.ref.Addr, &msgPing{From: s.self, Seq: seq, Updates: s.takeGossip()})
 	s.env.After(s.cfg.AckTimeout, func() { s.directProbeFailed(target, seq) })
 }
 
@@ -285,7 +285,7 @@ func (s *Service) directProbeFailed(target string, seq uint64) {
 		return
 	}
 	for _, p := range proxies {
-		s.send(p.Addr, msgPingReq{From: s.self, Target: m.ref, Seq: seq, Updates: s.takeGossip()})
+		s.send(p.Addr, &msgPingReq{From: s.self, Target: m.ref, Seq: seq, Updates: s.takeGossip()})
 	}
 	// Give the indirect path the rest of the protocol period.
 	rest := s.cfg.ProtocolPeriod - s.cfg.AckTimeout

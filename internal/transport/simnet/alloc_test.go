@@ -1,0 +1,140 @@
+package simnet
+
+// Allocation-regression tests for the typed-message hot path. The paper's
+// economy argument (§5.2, §7.2) is that steady-state liveness checking
+// piggybacks on traffic the overlay sends anyway; the engineering
+// counterpart here is that the simulated transport's send->deliver->handle
+// cycle allocates nothing once warm, so 16,000-node runs are bounded by
+// protocol work, not the allocator. These tests pin that at 0 allocs/op;
+// any regression (a new boxing site, an unpooled record, a fresh closure
+// per delivery) fails CI.
+
+import (
+	"sync"
+	"testing"
+
+	"fuse/internal/transport"
+)
+
+// pooledProbe mirrors the overlay's pooled ping record: a Pooled message
+// with a payload slice that Release must drop.
+type pooledProbe struct {
+	transport.Body
+	Seq     uint64
+	Payload []byte
+}
+
+var probePool = sync.Pool{New: func() any { return new(pooledProbe) }}
+
+func newPooledProbe() *pooledProbe { return probePool.Get().(*pooledProbe) }
+
+func (m *pooledProbe) Release() {
+	*m = pooledProbe{}
+	probePool.Put(m)
+}
+
+func init() {
+	transport.Register("simnet.test.pooledProbe", func() transport.Message { return newPooledProbe() })
+}
+
+// TestSendDeliverCycleZeroAlloc pins the core claim of the typed message
+// union: a pooled request/reply cycle over the simulated transport - the
+// shape of the overlay's ping/ack - completes with zero heap allocations
+// once routes, delivery records, and message pools are warm.
+func TestSendDeliverCycleZeroAlloc(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	a, b := net.nodes[addrs[0]], net.nodes[addrs[1]]
+	// B answers every probe with a pooled reply, as a ping handler does.
+	net.SetHandler(addrs[1], func(from transport.Addr, msg transport.Message) {
+		reply := newPooledProbe()
+		reply.Seq = msg.(*pooledProbe).Seq
+		b.Send(from, reply)
+	})
+	got := 0
+	net.SetHandler(addrs[0], func(transport.Addr, transport.Message) { got++ })
+
+	cycle := func() {
+		m := newPooledProbe()
+		m.Seq = uint64(got)
+		a.Send(addrs[1], m)
+		net.sim.Run()
+	}
+	cycle() // warm route caches, delivery pool, message pools
+
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc pin runs without -race")
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("send/deliver/reply cycle allocates %.1f/op, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("no replies delivered; the cycle under test never ran")
+	}
+}
+
+// TestPooledRecordClearedBeforeReuse guards the delivery-pool reuse path:
+// a recycled record must never leak a previous delivery's payload slice
+// (in FUSE terms, one link's piggybacked group-ID hash surfacing on
+// another link's ping). The receiver of a payload-free probe must observe
+// nil, even though the very record it receives just carried 20 bytes.
+func TestPooledRecordClearedBeforeReuse(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	a := net.nodes[addrs[0]]
+	var seen [][]byte
+	net.SetHandler(addrs[1], func(_ transport.Addr, msg transport.Message) {
+		seen = append(seen, msg.(*pooledProbe).Payload)
+	})
+
+	secret := []byte("twenty-byte-group-id")
+	withPayload := newPooledProbe()
+	withPayload.Payload = secret
+	a.Send(addrs[1], withPayload)
+	net.sim.Run()
+
+	// Drain the probe pool through enough fresh records that the recycled
+	// one is reused, each sent without a payload.
+	for i := 0; i < 8; i++ {
+		a.Send(addrs[1], newPooledProbe())
+		net.sim.Run()
+	}
+
+	if len(seen) != 9 {
+		t.Fatalf("delivered %d probes, want 9", len(seen))
+	}
+	if string(seen[0]) != string(secret) {
+		t.Fatalf("first delivery carried %q, want the payload", seen[0])
+	}
+	for i, p := range seen[1:] {
+		if p != nil {
+			t.Fatalf("payload-free delivery %d leaked a previous payload %q", i+1, p)
+		}
+	}
+}
+
+// TestReleaseRunsOnDropPaths pins that messages dropped by the transport
+// (blocked links, unknown destinations, crashed endpoints) are still
+// recycled: the Pooled contract is release-exactly-once on every path,
+// not just successful delivery.
+func TestReleaseRunsOnDropPaths(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	a := net.nodes[addrs[0]]
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) {})
+
+	check := func(name string, send func(m *pooledProbe)) {
+		m := newPooledProbe()
+		m.Payload = []byte(name)
+		send(m)
+		net.sim.Run()
+		if m.Payload != nil {
+			t.Fatalf("%s: dropped message was not released (payload retained)", name)
+		}
+	}
+	check("unknown-destination", func(m *pooledProbe) { a.Send("nowhere", m) })
+	net.BlockLink(addrs[0], addrs[1])
+	check("blocked-link", func(m *pooledProbe) { a.Send(addrs[1], m) })
+	net.ClearRules()
+	net.Crash(addrs[1])
+	check("crashed-destination", func(m *pooledProbe) { a.Send(addrs[1], m) })
+	net.Crash(addrs[0])
+	check("crashed-sender", func(m *pooledProbe) { a.Send(addrs[1], m) })
+}

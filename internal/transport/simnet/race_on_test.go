@@ -1,0 +1,7 @@
+//go:build race
+
+package simnet
+
+// raceEnabled gates the 0 allocs/op pins: race-detector instrumentation
+// itself allocates, so the allocation tests assert only under -race=off.
+const raceEnabled = true

@@ -22,8 +22,11 @@
 // plus the topology path, so steady-state sends do no topology queries),
 // deliveries are pooled objects with reused callback closures handed to
 // the simulator's handle-free Schedule path, and the fault-rule table is
-// only consulted when rules exist. After warmup, a send allocates nothing
-// beyond the message value itself.
+// only consulted when rules exist. Messages are typed records passed by
+// pointer (transport.Message), and pooled records are recycled after
+// their final delivery or on any drop path, so after warmup a
+// steady-state ping cycle allocates nothing at all (pinned by
+// alloc_test.go).
 package simnet
 
 import (
@@ -85,8 +88,9 @@ type Net struct {
 	dropped   uint64
 
 	// OnDeliver, if set, observes every successful delivery. Experiments
-	// use it to classify traffic.
-	OnDeliver func(from, to transport.Addr, msg any)
+	// use it to classify traffic. The observed message is only valid for
+	// the duration of the call (pooled records are recycled afterwards).
+	OnDeliver func(from, to transport.Addr, msg transport.Message)
 }
 
 type rulePair struct{ from, to transport.Addr }
@@ -148,7 +152,7 @@ type delivery struct {
 	net   *Net
 	from  transport.Addr
 	dst   *node
-	msg   any
+	msg   transport.Message
 	epoch uint64
 	run   func()
 }
@@ -167,7 +171,9 @@ func (n *Net) newDelivery() *delivery {
 
 // deliver hands the message to the destination's handler (or counts a
 // drop) and recycles the record. Recycling happens before the handler
-// runs so that sends made from within it reuse this same record.
+// runs so that sends made from within it reuse this same record; the
+// message itself is recycled only after the handler returns (final
+// delivery completes), per the transport.Pooled contract.
 func (d *delivery) deliver() {
 	net := d.net
 	dst, from, msg, epoch := d.dst, d.from, d.msg, d.epoch
@@ -175,6 +181,7 @@ func (d *delivery) deliver() {
 	net.freeDeliveries = append(net.freeDeliveries, d)
 	if dst.crashed || dst.epoch != epoch || dst.handler == nil {
 		net.dropped++
+		transport.ReleaseMessage(msg)
 		return
 	}
 	net.delivered++
@@ -182,6 +189,7 @@ func (d *delivery) deliver() {
 		net.OnDeliver(from, dst.addr, msg)
 	}
 	dst.handler(from, msg)
+	transport.ReleaseMessage(msg)
 }
 
 // AddNode attaches a new endpoint at the given router. The returned Env is
@@ -327,9 +335,10 @@ func (nd *node) After(d time.Duration, fn func()) transport.Timer {
 	})
 }
 
-func (nd *node) Send(to transport.Addr, msg any) {
+func (nd *node) Send(to transport.Addr, msg transport.Message) {
 	net := nd.net
 	if nd.crashed {
+		transport.ReleaseMessage(msg)
 		return
 	}
 	rt, ok := nd.routes[to]
@@ -337,6 +346,7 @@ func (nd *node) Send(to transport.Addr, msg any) {
 		dst, exists := net.nodes[to]
 		if !exists {
 			net.dropped++
+			transport.ReleaseMessage(msg)
 			return
 		}
 		rt = route{dst: dst, path: net.topo.Path(nd.router, dst.router)}
@@ -349,6 +359,7 @@ func (nd *node) Send(to transport.Addr, msg any) {
 		r := net.rules[rulePair{nd.addr, to}]
 		if r.block {
 			net.dropped++
+			transport.ReleaseMessage(msg)
 			return
 		}
 		if r.hasLoss {
@@ -383,6 +394,7 @@ func (nd *node) Send(to transport.Addr, msg any) {
 	}
 	if !delivered {
 		net.dropped++
+		transport.ReleaseMessage(msg)
 		return
 	}
 

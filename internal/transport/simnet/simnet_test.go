@@ -9,6 +9,26 @@ import (
 	"fuse/internal/transport"
 )
 
+// tmsg and imsg are test payloads: the transport only carries registered
+// Message records now.
+type tmsg struct {
+	transport.Body
+	V string
+}
+
+type imsg struct {
+	transport.Body
+	I int
+}
+
+func init() {
+	transport.Register("simnet.test.str", func() transport.Message { return new(tmsg) })
+	transport.Register("simnet.test.int", func() transport.Message { return new(imsg) })
+}
+
+func str(v string) *tmsg { return &tmsg{V: v} }
+func num(i int) *imsg    { return &imsg{I: i} }
+
 // testNet builds a small deterministic network with n nodes and no
 // overheads (unless opts override), returning the net and node addresses.
 func testNet(t *testing.T, n int, opts Options) (*Net, []transport.Addr) {
@@ -28,14 +48,14 @@ func testNet(t *testing.T, n int, opts Options) (*Net, []transport.Addr) {
 func TestDeliveryAndLatency(t *testing.T) {
 	net, addrs := testNet(t, 2, Options{})
 	var gotFrom transport.Addr
-	var gotMsg any
+	var gotMsg string
 	var at time.Time
-	net.SetHandler(addrs[1], func(from transport.Addr, msg any) {
-		gotFrom, gotMsg, at = from, msg, net.sim.Now()
+	net.SetHandler(addrs[1], func(from transport.Addr, msg transport.Message) {
+		gotFrom, gotMsg, at = from, msg.(*tmsg).V, net.sim.Now()
 	})
-	net.SetHandler(addrs[0], func(transport.Addr, any) {})
+	net.SetHandler(addrs[0], func(transport.Addr, transport.Message) {})
 	env := net.nodes[addrs[0]]
-	env.Send(addrs[1], "hello")
+	env.Send(addrs[1], str("hello"))
 	net.sim.Run()
 	if gotFrom != addrs[0] || gotMsg != "hello" {
 		t.Fatalf("got %v %v", gotFrom, gotMsg)
@@ -50,12 +70,12 @@ func TestSendOverheadSerializesSender(t *testing.T) {
 	opts := Options{SendOverhead: 10 * time.Millisecond}
 	net, addrs := testNet(t, 2, opts)
 	var arrivals []time.Time
-	net.SetHandler(addrs[1], func(transport.Addr, any) {
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) {
 		arrivals = append(arrivals, net.sim.Now())
 	})
 	env := net.nodes[addrs[0]]
 	for i := 0; i < 3; i++ {
-		env.Send(addrs[1], i)
+		env.Send(addrs[1], num(i))
 	}
 	net.sim.Run()
 	if len(arrivals) != 3 {
@@ -73,11 +93,11 @@ func TestBlockedLinkDropsDirectionally(t *testing.T) {
 	got := map[transport.Addr]int{}
 	for _, a := range addrs {
 		a := a
-		net.SetHandler(a, func(from transport.Addr, msg any) { got[a]++ })
+		net.SetHandler(a, func(from transport.Addr, msg transport.Message) { got[a]++ })
 	}
 	net.BlockLink(addrs[0], addrs[1])
-	net.nodes[addrs[0]].Send(addrs[1], "x") // dropped
-	net.nodes[addrs[1]].Send(addrs[0], "y") // delivered: other direction open
+	net.nodes[addrs[0]].Send(addrs[1], str("x")) // dropped
+	net.nodes[addrs[1]].Send(addrs[0], str("y")) // delivered: other direction open
 	net.sim.Run()
 	if got[addrs[1]] != 0 {
 		t.Fatal("blocked direction delivered")
@@ -89,7 +109,7 @@ func TestBlockedLinkDropsDirectionally(t *testing.T) {
 		t.Fatalf("dropped = %d, want 1", net.Dropped())
 	}
 	net.UnblockLink(addrs[0], addrs[1])
-	net.nodes[addrs[0]].Send(addrs[1], "x2")
+	net.nodes[addrs[0]].Send(addrs[1], str("x2"))
 	net.sim.Run()
 	if got[addrs[1]] != 1 {
 		t.Fatal("unblocked link did not deliver")
@@ -101,13 +121,13 @@ func TestPartitionBlocksAcrossGroupsOnly(t *testing.T) {
 	got := map[transport.Addr]int{}
 	for _, a := range addrs {
 		a := a
-		net.SetHandler(a, func(transport.Addr, any) { got[a]++ })
+		net.SetHandler(a, func(transport.Addr, transport.Message) { got[a]++ })
 	}
 	net.Partition(addrs[:2], addrs[2:])
-	net.nodes[addrs[0]].Send(addrs[1], "in")  // same side
-	net.nodes[addrs[0]].Send(addrs[2], "out") // across
-	net.nodes[addrs[3]].Send(addrs[2], "in")  // same side
-	net.nodes[addrs[3]].Send(addrs[1], "out") // across
+	net.nodes[addrs[0]].Send(addrs[1], str("in"))  // same side
+	net.nodes[addrs[0]].Send(addrs[2], str("out")) // across
+	net.nodes[addrs[3]].Send(addrs[2], str("in"))  // same side
+	net.nodes[addrs[3]].Send(addrs[1], str("out")) // across
 	net.sim.Run()
 	if got[addrs[1]] != 1 || got[addrs[2]] != 1 {
 		t.Fatalf("intra-partition traffic broken: %v", got)
@@ -116,7 +136,7 @@ func TestPartitionBlocksAcrossGroupsOnly(t *testing.T) {
 		t.Fatalf("dropped = %d, want 2", net.Dropped())
 	}
 	net.ClearRules()
-	net.nodes[addrs[0]].Send(addrs[2], "after")
+	net.nodes[addrs[0]].Send(addrs[2], str("after"))
 	net.sim.Run()
 	if got[addrs[2]] != 2 {
 		t.Fatal("ClearRules did not restore connectivity")
@@ -127,14 +147,14 @@ func TestCrashStopsTimersAndTraffic(t *testing.T) {
 	net, addrs := testNet(t, 2, Options{})
 	fired := 0
 	delivered := 0
-	net.SetHandler(addrs[0], func(transport.Addr, any) { delivered++ })
+	net.SetHandler(addrs[0], func(transport.Addr, transport.Message) { delivered++ })
 	env := net.nodes[addrs[0]]
 	env.After(time.Second, func() { fired++ })
 	net.Crash(addrs[0])
 	// A message sent to the crashed node and a send attempt from it.
-	net.SetHandler(addrs[1], func(transport.Addr, any) { delivered++ })
-	net.nodes[addrs[1]].Send(addrs[0], "to-dead")
-	net.nodes[addrs[0]].Send(addrs[1], "from-dead")
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) { delivered++ })
+	net.nodes[addrs[1]].Send(addrs[0], str("to-dead"))
+	net.nodes[addrs[0]].Send(addrs[1], str("from-dead"))
 	net.sim.Run()
 	if fired != 0 {
 		t.Fatal("timer fired on crashed node")
@@ -147,17 +167,17 @@ func TestCrashStopsTimersAndTraffic(t *testing.T) {
 func TestRestartDropsStaleTimersButReceivesNew(t *testing.T) {
 	net, addrs := testNet(t, 2, Options{})
 	staleFired := false
-	net.SetHandler(addrs[0], func(transport.Addr, any) {})
+	net.SetHandler(addrs[0], func(transport.Addr, transport.Message) {})
 	env := net.nodes[addrs[0]]
 	env.After(time.Second, func() { staleFired = true })
 	net.Crash(addrs[0])
 	env2 := net.Restart(addrs[0])
 	delivered := 0
-	net.SetHandler(addrs[0], func(transport.Addr, any) { delivered++ })
+	net.SetHandler(addrs[0], func(transport.Addr, transport.Message) { delivered++ })
 	newFired := false
 	env2.After(2*time.Second, func() { newFired = true })
-	net.SetHandler(addrs[1], func(transport.Addr, any) {})
-	net.nodes[addrs[1]].Send(addrs[0], "hello-again")
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) {})
+	net.nodes[addrs[1]].Send(addrs[0], str("hello-again"))
 	net.sim.Run()
 	if staleFired {
 		t.Fatal("pre-crash timer fired after restart")
@@ -174,9 +194,9 @@ func TestLossBreaksConnectionEventually(t *testing.T) {
 	opts := Options{RetriesBeforeBreak: 3, RetryRTO: 100 * time.Millisecond}
 	net, addrs := testNet(t, 2, opts)
 	delivered := 0
-	net.SetHandler(addrs[1], func(transport.Addr, any) { delivered++ })
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) { delivered++ })
 	net.SetLinkLoss(addrs[0], addrs[1], 1.0) // always lose: must break after retries
-	net.nodes[addrs[0]].Send(addrs[1], "doomed")
+	net.nodes[addrs[0]].Send(addrs[1], str("doomed"))
 	net.sim.Run()
 	if delivered != 0 {
 		t.Fatal("message delivered despite total loss")
@@ -190,11 +210,11 @@ func TestModerateLossIsMaskedByRetries(t *testing.T) {
 	opts := Options{RetriesBeforeBreak: 4, RetryRTO: 10 * time.Millisecond}
 	net, addrs := testNet(t, 2, opts)
 	delivered := 0
-	net.SetHandler(addrs[1], func(transport.Addr, any) { delivered++ })
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) { delivered++ })
 	net.SetLinkLoss(addrs[0], addrs[1], 0.10)
 	const msgs = 2000
 	for i := 0; i < msgs; i++ {
-		net.nodes[addrs[0]].Send(addrs[1], i)
+		net.nodes[addrs[0]].Send(addrs[1], num(i))
 	}
 	net.sim.Run()
 	// Loss per message is 0.10^4 = 1e-4; expect ~0.2 losses in 2000.
@@ -209,8 +229,8 @@ func TestRetriesAddLatency(t *testing.T) {
 	var sentAt []time.Time
 	var maxDelay time.Duration
 	base := net.topo.Path(net.Router(addrs[0]), net.Router(addrs[1])).Latency
-	net.SetHandler(addrs[1], func(_ transport.Addr, msg any) {
-		i := msg.(int)
+	net.SetHandler(addrs[1], func(_ transport.Addr, msg transport.Message) {
+		i := msg.(*imsg).I
 		if d := net.sim.Now().Sub(sentAt[i]) - base; d > maxDelay {
 			maxDelay = d
 		}
@@ -219,7 +239,7 @@ func TestRetriesAddLatency(t *testing.T) {
 	net.SetLinkLoss(addrs[0], addrs[1], 0.95)
 	for i := 0; i < 50; i++ {
 		sentAt = append(sentAt, net.sim.Now())
-		net.nodes[addrs[0]].Send(addrs[1], i)
+		net.nodes[addrs[0]].Send(addrs[1], num(i))
 		net.sim.Run()
 	}
 	if maxDelay < time.Second {
@@ -229,8 +249,8 @@ func TestRetriesAddLatency(t *testing.T) {
 
 func TestSendToUnknownAddrDropsSilently(t *testing.T) {
 	net, addrs := testNet(t, 1, Options{})
-	net.SetHandler(addrs[0], func(transport.Addr, any) {})
-	net.nodes[addrs[0]].Send("nope", "x")
+	net.SetHandler(addrs[0], func(transport.Addr, transport.Message) {})
+	net.nodes[addrs[0]].Send("nope", str("x"))
 	net.sim.Run()
 	if net.Dropped() != 1 {
 		t.Fatalf("dropped = %d, want 1", net.Dropped())
@@ -249,10 +269,10 @@ func TestDuplicateAddrPanics(t *testing.T) {
 
 func TestOnDeliverHookObservesTraffic(t *testing.T) {
 	net, addrs := testNet(t, 2, Options{})
-	var seen []any
-	net.OnDeliver = func(from, to transport.Addr, msg any) { seen = append(seen, msg) }
-	net.SetHandler(addrs[1], func(transport.Addr, any) {})
-	net.nodes[addrs[0]].Send(addrs[1], "observed")
+	var seen []string
+	net.OnDeliver = func(from, to transport.Addr, msg transport.Message) { seen = append(seen, msg.(*tmsg).V) }
+	net.SetHandler(addrs[1], func(transport.Addr, transport.Message) {})
+	net.nodes[addrs[0]].Send(addrs[1], str("observed"))
 	net.sim.Run()
 	if len(seen) != 1 || seen[0] != "observed" {
 		t.Fatalf("hook saw %v", seen)
@@ -262,12 +282,12 @@ func TestOnDeliverHookObservesTraffic(t *testing.T) {
 func TestCountersConsistent(t *testing.T) {
 	net, addrs := testNet(t, 3, Options{})
 	for _, a := range addrs {
-		net.SetHandler(a, func(transport.Addr, any) {})
+		net.SetHandler(a, func(transport.Addr, transport.Message) {})
 	}
 	net.BlockLink(addrs[0], addrs[1])
-	net.nodes[addrs[0]].Send(addrs[1], 1) // dropped
-	net.nodes[addrs[0]].Send(addrs[2], 2) // delivered
-	net.nodes[addrs[1]].Send(addrs[2], 3) // delivered
+	net.nodes[addrs[0]].Send(addrs[1], num(1)) // dropped
+	net.nodes[addrs[0]].Send(addrs[2], num(2)) // delivered
+	net.nodes[addrs[1]].Send(addrs[2], num(3)) // delivered
 	net.sim.Run()
 	if net.Sent() != 3 || net.Delivered() != 2 || net.Dropped() != 1 {
 		t.Fatalf("sent=%d delivered=%d dropped=%d", net.Sent(), net.Delivered(), net.Dropped())

@@ -1,0 +1,179 @@
+package tcpnet
+
+// Wire codec. The old framing gob-encoded an Envelope{From, Payload any}
+// per message, which forced every payload through gob's interface
+// machinery (an allocation-heavy reflection path) and repeated the sender
+// address on every frame. The typed transport.Message union lets the
+// codec frame messages explicitly instead:
+//
+//	connection: header frame*
+//	header:     uvarint(len(from)) from           — sent once per connection
+//	frame:      uvarint(len(tag)) tag uvarint(len(body)) body
+//
+// where tag is the stable name the message type was registered under
+// (transport.Register) and body is the gob encoding of the concrete
+// record by a fresh per-frame encoder, so every body is self-describing.
+// Compatibility holds within a run: both endpoints are built from the
+// same binary, so they assign identical tags, and gob's self-describing
+// bodies tolerate field-set evolution between binaries that share tags.
+// A decoder meeting an unknown tag, an oversized length, or a truncated
+// frame returns a clean error (never panics) and the connection is torn
+// down, which the protocols above experience as an unreachable peer.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"fuse/internal/transport"
+)
+
+// Frame-sanity bounds. They exist so a corrupt or adversarial length
+// prefix fails fast instead of provoking a giant allocation; legitimate
+// FUSE traffic (20-byte hashes, membership lists) sits orders of
+// magnitude below them.
+const (
+	maxTagLen  = 255
+	maxFromLen = 1 << 10
+	maxBodyLen = 16 << 20
+)
+
+var (
+	errTagTooLong  = errors.New("tcpnet: frame tag exceeds length bound")
+	errFromTooLong = errors.New("tcpnet: connection header exceeds length bound")
+	errBodyTooLong = errors.New("tcpnet: frame body exceeds length bound")
+)
+
+// writeHeader sends the one-per-connection sender address.
+func writeHeader(w *bufio.Writer, from transport.Addr) error {
+	if len(from) > maxFromLen {
+		return errFromTooLong
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(from)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(string(from))
+	return err
+}
+
+// readHeader reads the sender address a dialing peer announced.
+func readHeader(r *bufio.Reader) (transport.Addr, error) {
+	b, err := readLenPrefixed(r, maxFromLen, errFromTooLong)
+	if err != nil {
+		return "", err
+	}
+	return transport.Addr(b), nil
+}
+
+// encodeFrame appends one framed message to buf: the registry tag, then a
+// length-prefixed self-describing gob body. buf is reused across frames
+// by the connection writer.
+func encodeFrame(buf *bytes.Buffer, msg transport.Message) error {
+	tag, ok := transport.MessageName(msg)
+	if !ok {
+		return fmt.Errorf("tcpnet: unregistered message type %T", msg)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(tag)))
+	buf.Write(lenBuf[:n])
+	buf.WriteString(tag)
+
+	// Reserve a fixed-width length slot, gob straight into the buffer,
+	// then fill the slot in: one encode pass, no second body copy.
+	lenAt := buf.Len()
+	buf.Write(lenBuf[:binary.MaxVarintLen64])
+	bodyAt := buf.Len()
+	if err := gob.NewEncoder(buf).Encode(msg); err != nil {
+		return fmt.Errorf("tcpnet: encode %s: %w", tag, err)
+	}
+	bodyLen := buf.Len() - bodyAt
+	if bodyLen > maxBodyLen {
+		return errBodyTooLong
+	}
+	putUvarintPadded(buf.Bytes()[lenAt:bodyAt], uint64(bodyLen))
+	return nil
+}
+
+// putUvarintPadded writes v into slot using continuation-padded varint
+// encoding: the standard uvarint bytes, then 0x80 continuation bytes
+// carrying zero payload up to the fixed width. Decoders using the
+// standard binary.ReadUvarint accept this form unchanged.
+func putUvarintPadded(slot []byte, v uint64) {
+	for i := 0; i < len(slot)-1; i++ {
+		slot[i] = byte(v)&0x7f | 0x80
+		v >>= 7
+	}
+	slot[len(slot)-1] = byte(v) & 0x7f
+}
+
+// decodeFrame reads one framed message, consulting the registry for the
+// record to gob-decode into. Any malformed input — unknown tag, length
+// over bound, truncated tag/length/body, undecodable gob — yields an
+// error, never a panic; a clean EOF before the first byte of a frame is
+// reported as io.EOF so the read loop can distinguish orderly close.
+func decodeFrame(r *bufio.Reader) (transport.Message, error) {
+	tag, err := readLenPrefixed(r, maxTagLen, errTagTooLong)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readLenPrefixed(r, maxBodyLen, errBodyTooLong)
+	if err != nil {
+		return nil, notEOF(err)
+	}
+	msg, ok := transport.NewMessage(string(tag))
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: unknown message tag %q", tag)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(msg); err != nil {
+		transport.ReleaseMessage(msg)
+		return nil, fmt.Errorf("tcpnet: decode %s: %w", tag, err)
+	}
+	return msg, nil
+}
+
+// readLenPrefixed reads a uvarint length bounded by max, then that many
+// bytes. io.EOF passes through only when not a single byte was read.
+func readLenPrefixed(r *bufio.Reader, max int, overflow error) ([]byte, error) {
+	first := true
+	length := uint64(0)
+	for shift := 0; ; shift += 7 {
+		b, err := r.ReadByte()
+		if err != nil {
+			if first && err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, notEOF(err)
+		}
+		first = false
+		if shift > 63 || (shift == 63 && b > 1) {
+			return nil, overflow // > 10 bytes, or bits beyond uint64 in the 10th
+		}
+		length |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if length > uint64(max) {
+		return nil, overflow
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, notEOF(err)
+	}
+	return buf, nil
+}
+
+// notEOF converts a mid-frame io.EOF into io.ErrUnexpectedEOF so callers
+// can tell truncation from orderly close.
+func notEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

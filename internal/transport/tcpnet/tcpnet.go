@@ -14,11 +14,20 @@
 // support the transport.Resetter reschedule contract, so the periodic
 // protocol timers written against it (overlay pings, FUSE check
 // deadlines) run identically here and in simulation.
+//
+// On the wire, each connection carries a one-time sender-address header
+// followed by framed messages from the transport.Message union: a
+// registry tag plus a length-prefixed, self-describing gob body (see
+// codec.go). Malformed or truncated frames fail cleanly and tear the
+// connection down, which the protocols above observe as an unreachable
+// peer.
 package tcpnet
 
 import (
-	"encoding/gob"
+	"bufio"
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -53,7 +62,7 @@ type Node struct {
 // enqueue onto ch; the writer dials lazily and drops everything on error.
 type outConn struct {
 	to   transport.Addr
-	ch   chan transport.Envelope
+	ch   chan transport.Message
 	node *Node
 }
 
@@ -148,29 +157,37 @@ func (n *Node) Logf(format string, args ...any) {
 // (the initial After and every Reset) carries its own generation; a fire
 // posted to the mailbox by an earlier arm fails the generation check and
 // is discarded, so resetting a timer whose old expiry is already in
-// flight cannot deliver a stale callback. gen and stopped are only
-// written from the mailbox goroutine; the AfterFunc goroutine merely
-// posts.
+// flight cannot deliver a stale callback. mu guards t and gen (an
+// AfterFunc can fire before the assignment of its own handle completes,
+// so the handle must be published under the lock); stopped and firing
+// stay atomic so the fire path's fast checks take no lock.
 type liveTimer struct {
 	n       *Node
 	fn      func()
+	mu      sync.Mutex
 	t       *time.Timer
-	gen     atomic.Uint64
+	gen     uint64
 	stopped atomic.Bool
-	firing  bool // true while fn executes; mailbox-only access
+	firing  atomic.Bool // true while fn executes
 }
 
 func (lt *liveTimer) arm(d time.Duration) {
-	gen := lt.gen.Add(1)
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.gen++
+	gen := lt.gen
 	lt.t = time.AfterFunc(d, func() {
 		lt.n.post(func() {
-			if lt.stopped.Load() || lt.gen.Load() != gen {
+			lt.mu.Lock()
+			stale := lt.gen != gen
+			lt.mu.Unlock()
+			if stale || lt.stopped.Load() {
 				return
 			}
 			lt.stopped.Store(true)
-			lt.firing = true
+			lt.firing.Store(true)
 			lt.fn()
-			lt.firing = false
+			lt.firing.Store(false)
 		})
 	})
 }
@@ -179,6 +196,8 @@ func (lt *liveTimer) Stop() bool {
 	if lt.stopped.Swap(true) {
 		return false
 	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
 	return lt.t.Stop()
 }
 
@@ -190,10 +209,12 @@ func (lt *liveTimer) Stop() bool {
 // node's mailbox (a callback or message handler), which serializes it
 // with the generation check in the fire path.
 func (lt *liveTimer) Reset(d time.Duration) bool {
-	if lt.stopped.Load() && !lt.firing {
+	if lt.stopped.Load() && !lt.firing.Load() {
 		return false
 	}
+	lt.mu.Lock()
 	lt.t.Stop()
+	lt.mu.Unlock()
 	lt.stopped.Store(false)
 	lt.arm(d) // new generation invalidates any in-flight posted fire
 	return true
@@ -211,16 +232,17 @@ func (n *Node) After(d time.Duration, fn func()) transport.Timer {
 // Send transmits msg to the node listening at addr to. The send is
 // asynchronous; on any connection error the message (and any others queued
 // behind it) is silently dropped, modelling an unreachable peer.
-func (n *Node) Send(to transport.Addr, msg any) {
+func (n *Node) Send(to transport.Addr, msg transport.Message) {
 	n.sent.Add(1)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
+		transport.ReleaseMessage(msg)
 		return
 	}
 	c, ok := n.conns[to]
 	if !ok {
-		c = &outConn{to: to, ch: make(chan transport.Envelope, outQueueDepth), node: n}
+		c = &outConn{to: to, ch: make(chan transport.Message, outQueueDepth), node: n}
 		n.conns[to] = c
 		n.wg.Add(1)
 		go c.writeLoop()
@@ -228,11 +250,12 @@ func (n *Node) Send(to transport.Addr, msg any) {
 	// Enqueue under the lock so Close cannot close the channel between
 	// the cache lookup and the send.
 	select {
-	case c.ch <- transport.Envelope{From: string(n.addr), Payload: msg}:
+	case c.ch <- msg:
 	default:
 		// Queue full: the peer is not draining; drop like a saturated
 		// TCP connection that the sender times out on.
 		n.Logf("tcpnet: queue to %s full, dropping message", to)
+		transport.ReleaseMessage(msg)
 	}
 }
 
@@ -240,10 +263,15 @@ var _ transport.Env = (*Node)(nil)
 
 // --- internals ---
 
-func (n *Node) post(fn func()) {
+// post enqueues fn onto the mailbox, reporting false when the node shut
+// down first and fn will never run (callers owning resources bound to fn
+// must release them on false).
+func (n *Node) post(fn func()) bool {
 	select {
 	case n.mailbox <- fn:
+		return true
 	case <-n.done:
+		return false
 	}
 }
 
@@ -282,27 +310,35 @@ func (n *Node) acceptLoop() {
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	go func() { // tear the connection down on shutdown to unblock Decode
+	go func() { // tear the connection down on shutdown to unblock reads
 		<-n.done
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	r := bufio.NewReader(conn)
+	from, err := readHeader(r)
+	if err != nil {
+		return
+	}
 	for {
-		var env transport.Envelope
-		if err := dec.Decode(&env); err != nil {
+		msg, err := decodeFrame(r)
+		if err != nil {
+			if err != io.EOF {
+				n.Logf("tcpnet: read from %s: %v", from, err)
+			}
 			return
 		}
-		from := transport.Addr(env.From)
-		payload := env.Payload
-		n.post(func() {
+		if !n.post(func() {
 			n.mu.Lock()
 			h := n.handler
 			n.mu.Unlock()
 			if h != nil {
 				n.delivered.Add(1)
-				h(from, payload)
+				h(from, msg)
 			}
-		})
+			transport.ReleaseMessage(msg)
+		}) {
+			transport.ReleaseMessage(msg) // shutdown won the race: drop path
+		}
 	}
 }
 
@@ -310,13 +346,14 @@ func (c *outConn) writeLoop() {
 	n := c.node
 	defer n.wg.Done()
 	var conn net.Conn
-	var enc *gob.Encoder
+	var w *bufio.Writer
+	var frame bytes.Buffer
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
-	for env := range c.ch {
+	for msg := range c.ch {
 		if conn == nil {
 			n.dials.Add(1)
 			d := net.Dialer{Timeout: 5 * time.Second}
@@ -324,12 +361,33 @@ func (c *outConn) writeLoop() {
 			conn, err = d.Dial("tcp", string(c.to))
 			if err != nil {
 				n.Logf("tcpnet: dial %s: %v", c.to, err)
+				transport.ReleaseMessage(msg)
 				c.abandon()
 				return
 			}
-			enc = gob.NewEncoder(conn)
+			w = bufio.NewWriter(conn)
+			if err := writeHeader(w, n.addr); err != nil {
+				n.Logf("tcpnet: write header to %s: %v", c.to, err)
+				transport.ReleaseMessage(msg)
+				c.abandon()
+				return
+			}
 		}
-		if err := enc.Encode(env); err != nil {
+		frame.Reset()
+		err := encodeFrame(&frame, msg)
+		transport.ReleaseMessage(msg) // serialized (or unencodable): sender side is done with it
+		if err != nil {
+			// Encoding failure is a per-message bug (unregistered type),
+			// not a connection failure: drop the message, keep the pipe.
+			n.Logf("tcpnet: %v", err)
+			continue
+		}
+		if _, err := w.Write(frame.Bytes()); err != nil {
+			n.Logf("tcpnet: write %s: %v", c.to, err)
+			c.abandon()
+			return
+		}
+		if err := w.Flush(); err != nil {
 			n.Logf("tcpnet: write %s: %v", c.to, err)
 			c.abandon()
 			return
@@ -337,9 +395,12 @@ func (c *outConn) writeLoop() {
 	}
 }
 
-// abandon removes the connection from the cache so the next Send redials.
-// Messages still queued on the channel are lost, as on a broken TCP
-// connection; the channel itself is garbage-collected once unreferenced.
+// abandon removes the connection from the cache so the next Send redials,
+// then releases whatever is still queued: the messages are lost, as on a
+// broken TCP connection, but pooled records must still be recycled
+// (release-exactly-once covers drop paths too). Draining after the cache
+// removal is race-free because Send only enqueues while holding the lock
+// under which the conn is still cached.
 func (c *outConn) abandon() {
 	n := c.node
 	n.mu.Lock()
@@ -347,4 +408,15 @@ func (c *outConn) abandon() {
 		delete(n.conns, c.to)
 	}
 	n.mu.Unlock()
+	for {
+		select {
+		case msg, ok := <-c.ch:
+			if !ok {
+				return // Close owns the channel; it drains via writeLoop
+			}
+			transport.ReleaseMessage(msg)
+		default:
+			return
+		}
+	}
 }

@@ -3,24 +3,29 @@ package tcpnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"fuse/internal/transport"
 )
 
+type body = transport.Body
+
 type testMsg struct {
+	body
 	Seq  int
 	Body string
 }
 
 type bigMsg struct {
+	body
 	Data []byte
 }
 
 func init() {
-	transport.RegisterPayload(testMsg{})
-	transport.RegisterPayload(bigMsg{})
+	transport.Register("tcpnet.test.msg", func() transport.Message { return new(testMsg) })
+	transport.Register("tcpnet.test.big", func() transport.Message { return new(bigMsg) })
 }
 
 func newNode(t *testing.T, seed int64) *Node {
@@ -39,10 +44,10 @@ func collect(n *Node) (func() []testMsg, <-chan struct{}) {
 	var mu sync.Mutex
 	var got []testMsg
 	ch := make(chan struct{}, 1024)
-	n.SetHandler(func(from transport.Addr, msg any) {
-		if m, ok := msg.(testMsg); ok {
+	n.SetHandler(func(from transport.Addr, msg transport.Message) {
+		if m, ok := msg.(*testMsg); ok {
 			mu.Lock()
-			got = append(got, m)
+			got = append(got, *m)
 			mu.Unlock()
 			ch <- struct{}{}
 		}
@@ -69,7 +74,7 @@ func TestRoundTrip(t *testing.T) {
 	a := newNode(t, 1)
 	b := newNode(t, 2)
 	got, arrived := collect(b)
-	a.Send(b.Addr(), testMsg{Seq: 1, Body: "hello"})
+	a.Send(b.Addr(), &testMsg{Seq: 1, Body: "hello"})
 	waitN(t, arrived, 1)
 	msgs := got()
 	if len(msgs) != 1 || msgs[0].Body != "hello" {
@@ -83,7 +88,7 @@ func TestOrderingPreservedPerPair(t *testing.T) {
 	got, arrived := collect(b)
 	const n = 100
 	for i := 0; i < n; i++ {
-		a.Send(b.Addr(), testMsg{Seq: i})
+		a.Send(b.Addr(), &testMsg{Seq: i})
 	}
 	waitN(t, arrived, n)
 	for i, m := range got() {
@@ -98,7 +103,7 @@ func TestConnectionCaching(t *testing.T) {
 	b := newNode(t, 2)
 	_, arrived := collect(b)
 	for i := 0; i < 10; i++ {
-		a.Send(b.Addr(), testMsg{Seq: i})
+		a.Send(b.Addr(), &testMsg{Seq: i})
 	}
 	waitN(t, arrived, 10)
 	if dials := a.Dials(); dials != 1 {
@@ -111,8 +116,8 @@ func TestBidirectionalTraffic(t *testing.T) {
 	b := newNode(t, 2)
 	gotA, arrA := collect(a)
 	gotB, arrB := collect(b)
-	a.Send(b.Addr(), testMsg{Body: "to-b"})
-	b.Send(a.Addr(), testMsg{Body: "to-a"})
+	a.Send(b.Addr(), &testMsg{Body: "to-b"})
+	b.Send(a.Addr(), &testMsg{Body: "to-a"})
 	waitN(t, arrA, 1)
 	waitN(t, arrB, 1)
 	if gotA()[0].Body != "to-a" || gotB()[0].Body != "to-b" {
@@ -126,13 +131,13 @@ func TestFromAddressIsSendersListenAddr(t *testing.T) {
 	var mu sync.Mutex
 	var from transport.Addr
 	arrived := make(chan struct{}, 1)
-	b.SetHandler(func(f transport.Addr, msg any) {
+	b.SetHandler(func(f transport.Addr, msg transport.Message) {
 		mu.Lock()
 		from = f
 		mu.Unlock()
 		arrived <- struct{}{}
 	})
-	a.Send(b.Addr(), testMsg{})
+	a.Send(b.Addr(), &testMsg{})
 	waitN(t, arrived, 1)
 	mu.Lock()
 	defer mu.Unlock()
@@ -145,13 +150,13 @@ func TestLargeMessage(t *testing.T) {
 	a := newNode(t, 1)
 	b := newNode(t, 2)
 	arrived := make(chan int, 1)
-	b.SetHandler(func(_ transport.Addr, msg any) {
-		if m, ok := msg.(bigMsg); ok {
+	b.SetHandler(func(_ transport.Addr, msg transport.Message) {
+		if m, ok := msg.(*bigMsg); ok {
 			arrived <- len(m.Data)
 		}
 	})
 	const size = 4 << 20
-	a.Send(b.Addr(), bigMsg{Data: make([]byte, size)})
+	a.Send(b.Addr(), &bigMsg{Data: make([]byte, size)})
 	select {
 	case n := <-arrived:
 		if n != size {
@@ -170,7 +175,7 @@ func TestSendToDeadPeerDoesNotBlock(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 50; i++ {
-			a.Send(deadAddr, testMsg{Seq: i})
+			a.Send(deadAddr, &testMsg{Seq: i})
 		}
 		close(done)
 	}()
@@ -185,13 +190,13 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 	a := newNode(t, 1)
 	b := newNode(t, 2)
 	_, arrived := collect(b)
-	a.Send(b.Addr(), testMsg{Seq: 0})
+	a.Send(b.Addr(), &testMsg{Seq: 0})
 	waitN(t, arrived, 1)
 
 	addr := b.Addr()
 	b.Close()
 	// This send hits the broken cached connection and is lost.
-	a.Send(addr, testMsg{Seq: 1})
+	a.Send(addr, &testMsg{Seq: 1})
 
 	// Restart a listener on the same address.
 	b2, err := Listen(string(addr), 3)
@@ -205,7 +210,7 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 	// until one gets through on a fresh dial.
 	deadline := time.After(5 * time.Second)
 	for {
-		a.Send(addr, testMsg{Seq: 2})
+		a.Send(addr, &testMsg{Seq: 2})
 		select {
 		case <-arrived2:
 			if msgs := got2(); msgs[0].Seq != 2 {
@@ -279,11 +284,17 @@ func TestTimerResetSemantics(t *testing.T) {
 	}
 
 	// From within the own callback: Reset re-arms, the classic periodic
-	// pattern.
+	// pattern. The timer handle is published to the callback under a
+	// mutex: protocol code re-arms from the same mailbox that armed, but
+	// this test arms from the test goroutine.
 	ticks := make(chan struct{}, 8)
+	var mu sync.Mutex
 	var tm3 transport.Timer
 	count := 0
+	mu.Lock()
 	tm3 = a.After(10*time.Millisecond, func() {
+		mu.Lock()
+		defer mu.Unlock()
 		count++
 		ticks <- struct{}{}
 		if count < 3 {
@@ -292,6 +303,7 @@ func TestTimerResetSemantics(t *testing.T) {
 			}
 		}
 	})
+	mu.Unlock()
 	for i := 0; i < 3; i++ {
 		select {
 		case <-ticks:
@@ -312,7 +324,7 @@ func TestHandlerCallbacksSerialized(t *testing.T) {
 	var inHandler, maxConcurrent int
 	var mu sync.Mutex
 	done := make(chan struct{}, 256)
-	b.SetHandler(func(transport.Addr, any) {
+	b.SetHandler(func(transport.Addr, transport.Message) {
 		mu.Lock()
 		inHandler++
 		if inHandler > maxConcurrent {
@@ -328,8 +340,8 @@ func TestHandlerCallbacksSerialized(t *testing.T) {
 	// Two nodes sending concurrently; handler must still be serialized.
 	c := newNode(t, 3)
 	for i := 0; i < 20; i++ {
-		a.Send(b.Addr(), testMsg{Seq: i})
-		c.Send(b.Addr(), testMsg{Seq: i})
+		a.Send(b.Addr(), &testMsg{Seq: i})
+		c.Send(b.Addr(), &testMsg{Seq: i})
 	}
 	waitN(t, done, 40)
 	mu.Lock()
@@ -349,7 +361,7 @@ func TestSendAfterCloseIsSafe(t *testing.T) {
 	a := newNode(t, 1)
 	b := newNode(t, 2)
 	a.Close()
-	a.Send(b.Addr(), testMsg{}) // must not panic
+	a.Send(b.Addr(), &testMsg{}) // must not panic
 }
 
 func TestManyNodesMesh(t *testing.T) {
@@ -362,7 +374,7 @@ func TestManyNodesMesh(t *testing.T) {
 	}
 	total.Add(n * (n - 1))
 	for i := range nodes {
-		nodes[i].SetHandler(func(transport.Addr, any) { total.Done() })
+		nodes[i].SetHandler(func(transport.Addr, transport.Message) { total.Done() })
 	}
 	for i := range nodes {
 		i := i
@@ -371,7 +383,7 @@ func TestManyNodesMesh(t *testing.T) {
 			defer wg.Done()
 			for j := range nodes {
 				if j != i {
-					nodes[i].Send(nodes[j].Addr(), testMsg{Seq: i, Body: fmt.Sprint(j)})
+					nodes[i].Send(nodes[j].Addr(), &testMsg{Seq: i, Body: fmt.Sprint(j)})
 				}
 			}
 		}()
@@ -383,5 +395,54 @@ func TestManyNodesMesh(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("mesh exchange did not complete")
+	}
+}
+
+// releasableMsg counts Release calls, so tests can verify the transport
+// honors the Pooled release-exactly-once contract on its drop paths.
+type releasableMsg struct {
+	body
+	Seq      int
+	released *atomic.Int32
+}
+
+func (m *releasableMsg) Release() {
+	if m.released != nil {
+		m.released.Add(1)
+	}
+}
+
+func init() {
+	transport.Register("tcpnet.test.releasable", func() transport.Message { return new(releasableMsg) })
+}
+
+// TestDropPathsReleasePooledMessages pins that pooled records are
+// recycled on tcpnet's drop paths, not just after successful serialization:
+// a dial failure must release both the in-hand message and everything
+// still queued behind it, and sends after Close release immediately.
+func TestDropPathsReleasePooledMessages(t *testing.T) {
+	a := newNode(t, 1)
+	// A listener that is closed immediately: connecting to it fails.
+	dead := newNode(t, 2)
+	deadAddr := dead.Addr()
+	dead.Close()
+
+	var released atomic.Int32
+	const msgs = 16
+	for i := 0; i < msgs; i++ {
+		a.Send(deadAddr, &releasableMsg{Seq: i, released: &released})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for released.Load() != msgs {
+		if time.Now().After(deadline) {
+			t.Fatalf("released %d of %d messages after dial failure", released.Load(), msgs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	a.Close()
+	a.Send(deadAddr, &releasableMsg{released: &released})
+	if got := released.Load(); got != msgs+1 {
+		t.Fatalf("send-after-close released %d, want %d", got, msgs+1)
 	}
 }

@@ -12,11 +12,23 @@
 // (transport/simnet) runs callbacks on a deterministic virtual clock; the
 // live transport (transport/tcpnet) runs them on a per-node mailbox
 // goroutine over real TCP connections.
+//
+// Messages form a closed, typed union: every wire message implements
+// Message by embedding Body (conventionally through an unexported alias,
+// so the marker field stays off the wire), and registers itself with
+// Register so byte-oriented transports can frame it with a stable type
+// tag. Passing concrete message records as pointers through the Message
+// interface means a send boxes nothing; the ping-cycle records are
+// additionally pool-backed (Pooled), making the steady-state
+// send->deliver->handle cycle allocation-free on the simulated transport.
 package transport
 
 import (
 	"encoding/gob"
 	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -25,9 +37,58 @@ import (
 // "host:port" string. Protocol code treats it as opaque.
 type Addr string
 
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a == "" }
+
+func (a Addr) String() string { return string(a) }
+
+// Message is the closed union of wire messages. Concrete message types
+// join it by embedding Body; the unexported marker method keeps arbitrary
+// values (strings, ints, ad-hoc structs) out of the transports, so every
+// message that crosses a Send is a registered, codec-framable record.
+//
+// Ownership: the sender relinquishes the message when it calls Env.Send,
+// and a receiver may use it only for the duration of the handler call.
+// Retaining a message (or data reachable from it, such as a payload
+// slice) past either point requires copying, because pooled records are
+// recycled as soon as their final delivery completes.
+type Message interface {
+	transportMessage()
+}
+
+// Body is embedded by every concrete message type to implement Message.
+// Embed it through an unexported type alias (`type body = transport.Body`)
+// so the marker rides as an unexported field that gob-based codecs skip.
+// The marker uses a pointer receiver deliberately: only *msgFoo joins the
+// union, so sending a message by value (a forgotten &) is a compile
+// error instead of a silently undeliverable frame.
+type Body struct{}
+
+func (*Body) transportMessage() {}
+
+// Pooled is optionally implemented by message records drawn from a
+// sync.Pool. The transport that completes a message's final delivery (or
+// drops it) calls Release exactly once; Release must zero the record -
+// including payload slice references, so no group-ID bytes leak across
+// deliveries - before returning it to its pool. A pooled message must be
+// sent to exactly one destination and never forwarded as-is.
+type Pooled interface {
+	Message
+	Release()
+}
+
+// ReleaseMessage recycles msg if it is a pooled record and is a no-op
+// otherwise. Transports call it after the handler returns (or on any drop
+// path); protocol code never does.
+func ReleaseMessage(msg Message) {
+	if p, ok := msg.(Pooled); ok {
+		p.Release()
+	}
+}
+
 // Handler receives every message delivered to a node. Implementations run
 // serialized with the node's timer callbacks.
-type Handler func(from Addr, msg any)
+type Handler func(from Addr, msg Message)
 
 // Timer is a cancellable pending callback.
 type Timer interface {
@@ -77,8 +138,9 @@ type Env interface {
 	// and unreliable in the same way a TCP connection to a failed or
 	// unreachable peer is: the message may never arrive, and the sender
 	// is not told. Protocols detect loss with their own acknowledgment
-	// timeouts, exactly as the paper's implementation does.
-	Send(to Addr, msg any)
+	// timeouts, exactly as the paper's implementation does. The sender
+	// relinquishes ownership of msg (see Message).
+	Send(to Addr, msg Message)
 
 	// Rand returns this node's random source. In simulation it is
 	// deterministic per node.
@@ -88,17 +150,81 @@ type Env interface {
 	Logf(format string, args ...any)
 }
 
-// RegisterPayload records a concrete message type with the wire codec so
-// the TCP transport can gob-encode it inside an envelope. It is a no-op
-// requirement for the simulated transport, but protocol packages register
-// their message types unconditionally in init so the same stack runs on
-// either transport.
-func RegisterPayload(v any) {
-	gob.Register(v)
+// --- message registry ---
+
+// The registry maps stable wire tags to message factories (decode side)
+// and concrete types back to tags (encode side). Tags are assigned by the
+// protocol packages' init functions, so both endpoints of a run built
+// from the same binary agree on them; the tcpnet codec additionally
+// gob-encodes each record self-describingly, keeping frames decodable
+// within a run even as field sets evolve.
+
+type registryEntry struct {
+	name string
+	new  func() Message
 }
 
-// Envelope is the wire frame used by byte-oriented transports.
-type Envelope struct {
-	From    string
-	Payload any
+var (
+	registryMu     sync.RWMutex
+	registryByName = make(map[string]registryEntry)
+	registryByType = make(map[reflect.Type]registryEntry)
+)
+
+// Register records a concrete message type under a stable wire tag. The
+// factory must return a fresh (or pooled, zeroed) record of one pointer
+// type; byte-oriented transports decode into it. Registration also makes
+// the type gob-encodable inside interface-typed fields (the overlay's
+// routed envelope carries its payload that way). Protocol packages
+// register their messages in init; duplicate tags or types panic.
+func Register(name string, newFn func() Message) {
+	if name == "" || newFn == nil {
+		panic("transport: Register needs a tag and a factory")
+	}
+	rec := newFn()
+	t := reflect.TypeOf(rec)
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registryByName[name]; dup {
+		panic("transport: duplicate message tag " + name)
+	}
+	if e, dup := registryByType[t]; dup {
+		panic("transport: type " + t.String() + " already registered as " + e.name)
+	}
+	e := registryEntry{name: name, new: newFn}
+	registryByName[name] = e
+	registryByType[t] = e
+	gob.Register(rec)
+	ReleaseMessage(rec)
+}
+
+// MessageName returns the wire tag msg was registered under.
+func MessageName(msg Message) (string, bool) {
+	registryMu.RLock()
+	e, ok := registryByType[reflect.TypeOf(msg)]
+	registryMu.RUnlock()
+	return e.name, ok
+}
+
+// NewMessage returns a fresh record for the given wire tag.
+func NewMessage(name string) (Message, bool) {
+	registryMu.RLock()
+	e, ok := registryByName[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.new(), true
+}
+
+// RegisteredMessages lists every registered wire tag in sorted order; the
+// codec round-trip tests enumerate the union with it.
+func RegisteredMessages() []string {
+	registryMu.RLock()
+	names := make([]string, 0, len(registryByName))
+	for name := range registryByName {
+		names = append(names, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(names)
+	return names
 }

@@ -68,7 +68,7 @@ func Start(cfg NodeConfig) (*Node, error) {
 	ov := overlay.New(tn, ovCfg, cfg.Name)
 	fu := core.New(tn, ov, fuCfg)
 	n := &Node{tn: tn, ov: ov, fuse: fu, self: ov.Self()}
-	tn.SetHandler(func(from transport.Addr, msg any) {
+	tn.SetHandler(func(from transport.Addr, msg transport.Message) {
 		if ov.Handle(from, msg) {
 			return
 		}
