@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment to run (fig6..fig12, steady, paperscale, svtree, ablation, all)")
+		exp    = flag.String("exp", "", fmt.Sprintf("experiment to run (one of %v, or all)", experiments.Names()))
 		seed   = flag.Int64("seed", 1, "random seed")
 		nodes  = flag.Int("nodes", 0, "override overlay size (0 = experiment default)")
 		groups = flag.Int("groups", 0, "override group count where the driver has one (0 = default)")

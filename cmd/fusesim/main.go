@@ -7,6 +7,13 @@
 // builds an overlay, creates the groups, crashes the requested number of
 // nodes at t=0, and reports when every affected member heard its
 // notification (the Figure 9 experiment, parameterized).
+//
+// Alternatively, -scenario runs one of the scenario engine's scripted
+// failure drills (churn, intransitive, partition-heal, restart) and
+// prints its deterministic event trace plus the invariant harness's
+// verdict:
+//
+//	fusesim -scenario restart -seed 3
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"fuse"
+	"fuse/internal/scenario"
 )
 
 func main() {
@@ -28,8 +36,27 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed (same seed => identical run)")
 		window = flag.Duration("window", 10*time.Minute, "virtual time to observe after the crash")
 		paper  = flag.Bool("paper", false, "use the paper-scale topology (required beyond ~2,880 nodes, e.g. -nodes 16000)")
+		script = flag.String("scenario", "", fmt.Sprintf("run a scripted fault scenario instead (one of %v)", scenario.Names()))
+		short  = flag.Bool("short", false, "trim scenario windows (with -scenario)")
 	)
 	flag.Parse()
+	if *script != "" {
+		// Forward only the sizing flags the user explicitly set, so the
+		// preset's tuned defaults apply otherwise.
+		sp := scenario.Params{Seed: *seed, Short: *short}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes":
+				sp.Nodes = *nodes
+			case "groups":
+				sp.Groups = *groups
+			case "window":
+				sp.Window = *window
+			}
+		})
+		runScenario(*script, sp)
+		return
+	}
 	if *size > *nodes || *crash >= *nodes {
 		fmt.Fprintln(os.Stderr, "fusesim: size/crash must be smaller than nodes")
 		os.Exit(2)
@@ -103,6 +130,26 @@ func main() {
 		fmt.Printf("  t=%7.1fs  node %3d notified for group %s\n", ev.at.Seconds(), ev.node, ev.group)
 	}
 	fmt.Printf("\n%d affected groups, %d notifications delivered; none lost.\n", len(affected), len(events))
+}
+
+// runScenario executes a named scenario-engine preset and prints the
+// deterministic event trace and the invariant harness's verdict.
+func runScenario(name string, sp scenario.Params) {
+	c, s, err := scenario.BuildPreset(name, sp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fusesim: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := scenario.Run(c, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fusesim: scenario %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Trace)
+	fmt.Print(rep.Stats())
+	if !rep.OK() {
+		os.Exit(1)
+	}
 }
 
 // newRng gives the scenario driver its own deterministic stream, separate

@@ -54,6 +54,11 @@ type Cluster struct {
 	overlayCfg overlay.Config
 	fuseCfg    core.Config
 	nextIndex  int
+
+	// stores records each node's attached stable storage so a restart
+	// can reattach the same store (the durable state survives the crash
+	// even though the protocol stack is rebuilt).
+	stores map[int]core.Persistence
 }
 
 // AddrOf returns the deterministic transport address of node index i.
@@ -94,6 +99,7 @@ func New(opts Options) *Cluster {
 		Net:        net,
 		overlayCfg: ovCfg,
 		fuseCfg:    fuseCfg,
+		stores:     make(map[int]core.Persistence),
 	}
 	pts := topo.AttachPoints(opts.N, sim.Rand())
 	for i := 0; i < opts.N; i++ {
@@ -181,12 +187,24 @@ func (c *Cluster) AddNode() *Node {
 // Crash fail-stops node i.
 func (c *Cluster) Crash(i int) { c.Net.Crash(c.Nodes[i].Addr) }
 
+// Stop shuts node i down cleanly: the overlay's liveness timers are
+// halted before the endpoint fail-stops, so a long-running simulation's
+// event queue drains instead of accumulating dead nodes' ping cycles. To
+// the rest of the deployment it is indistinguishable from a crash.
+func (c *Cluster) Stop(i int) {
+	c.Nodes[i].Overlay.Stop()
+	c.Net.Crash(c.Nodes[i].Addr)
+}
+
 // Crashed reports whether node i is down.
 func (c *Cluster) Crashed(i int) bool { return c.Net.Crashed(c.Nodes[i].Addr) }
 
 // Restart revives node i with a fresh stack (all volatile state lost, as
 // in the paper's crash-recovery model) and rejoins the overlay through
-// bootstrap. The new stack replaces Nodes[i].
+// bootstrap. The transport address and attachment router are preserved,
+// as is any store recorded by AttachStore — but Restart does not
+// reattach it; use RestartRecovered for the §3.6 stable-storage path.
+// The new stack replaces Nodes[i].
 func (c *Cluster) Restart(i int, bootstrap overlay.NodeRef) *Node {
 	old := c.Nodes[i]
 	env := c.Net.Restart(old.Addr)
@@ -201,6 +219,7 @@ func (c *Cluster) Restart(i int, bootstrap overlay.NodeRef) *Node {
 // variant): recorded group memberships are resumed instead of forgotten.
 func (c *Cluster) RestartWithStore(i int, bootstrap overlay.NodeRef, store core.Persistence) (*Node, error) {
 	n := c.Restart(i, bootstrap)
+	c.stores[i] = store
 	n.Fuse.SetPersistence(store)
 	if err := n.Fuse.Recover(); err != nil {
 		return nil, err
@@ -208,9 +227,29 @@ func (c *Cluster) RestartWithStore(i int, bootstrap overlay.NodeRef, store core.
 	return n, nil
 }
 
-// AttachStore gives node i stable storage for subsequent memberships.
+// RestartRecovered revives node i and recovers from the store previously
+// recorded by AttachStore or RestartWithStore (the durable directory a
+// real process would find on disk after the crash). It panics if node i
+// never had a store attached.
+func (c *Cluster) RestartRecovered(i int, bootstrap overlay.NodeRef) (*Node, error) {
+	store, ok := c.stores[i]
+	if !ok {
+		panic(fmt.Sprintf("cluster: node %d has no recorded store", i))
+	}
+	return c.RestartWithStore(i, bootstrap, store)
+}
+
+// AttachStore gives node i stable storage for subsequent memberships and
+// records it for RestartRecovered.
 func (c *Cluster) AttachStore(i int, store core.Persistence) {
+	c.stores[i] = store
 	c.Nodes[i].Fuse.SetPersistence(store)
+}
+
+// HasStore reports whether node i has a recorded store.
+func (c *Cluster) HasStore(i int) bool {
+	_, ok := c.stores[i]
+	return ok
 }
 
 // Refs converts node indices to overlay references.

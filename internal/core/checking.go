@@ -205,6 +205,28 @@ func (f *Fuse) OnPingPayload(neighbor overlay.NodeRef, payload []byte) {
 		f.resetLinkTimer(ls)
 		return
 	}
+	f.sendReconcileProbe(neighbor)
+}
+
+// OnNeighborUp reconciles eagerly with a neighbor that just entered the
+// routing table, but only inside the post-Recover probe window (§3.6
+// rejoin): a restarted node's neighbors still monitor groups across links
+// the restart wiped, and without a probe they would only find out at the
+// next ping exchange (or, if the restarted node never re-pings them, a
+// full CheckTimeout later). The probe is an unsolicited GroupLists with
+// our — empty — view of the link; the neighbor tears its stale entries
+// down as link failures, which drives members to the root for the repair
+// that rebuilds this node's per-link checking registry.
+func (f *Fuse) OnNeighborUp(neighbor overlay.NodeRef) {
+	if !f.env.Now().Before(f.recoverUntil) {
+		return
+	}
+	f.sendReconcileProbe(neighbor)
+}
+
+// sendReconcileProbe sends our current (possibly empty) group list for
+// the link to neighbor, soliciting its view in return.
+func (f *Fuse) sendReconcileProbe(neighbor overlay.NodeRef) {
 	f.env.Send(neighbor.Addr, &msgGroupLists{From: f.self, Entries: f.linkEntries(neighbor.Addr), IsReply: false})
 }
 

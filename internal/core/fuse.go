@@ -178,6 +178,15 @@ type Fuse struct {
 	// stable-storage variant).
 	persist Persistence
 
+	// recoverUntil, when in the future, opens the post-Recover
+	// reconciliation window: while it lasts, every neighbor the overlay
+	// (re)acquires is sent an unsolicited GroupLists probe so stale
+	// checking state from before the crash is torn down and repaired
+	// immediately instead of on the next ping exchange (see
+	// OnNeighborUp). The zero value (before any Recover) is always in
+	// the past.
+	recoverUntil time.Time
+
 	// Stats exposed for experiments.
 	notified uint64 // local handler invocations
 }

@@ -49,6 +49,15 @@ func (f *Fuse) SetPersistence(p Persistence) { f.persist = p }
 // this node was down resolve through the normal paths - a repair probe
 // reaching a node that answers "unknown group" produces the
 // HardNotification the paper's semantics require.
+//
+// Recover also opens a reconciliation window one CheckTimeout long:
+// every current overlay neighbor is probed with our group list for the
+// link right away, and neighbors acquired later (the overlay rejoin is
+// still converging when Recover runs) are probed as they appear. The
+// probes let neighbors that still monitor pre-crash delegate state
+// across a link to this node tear it down and trigger the repairs that
+// rebuild the per-link checking registry here, instead of discovering
+// the mismatch one ping exchange (or one CheckTimeout) later.
 func (f *Fuse) Recover() error {
 	if f.persist == nil {
 		return nil
@@ -74,6 +83,10 @@ func (f *Fuse) Recover() error {
 		ms := &memberState{id: rec.ID, seq: rec.Seq, root: rec.ID.Root}
 		f.members[rec.ID] = ms
 		f.memberNeedsRepair(ms)
+	}
+	f.recoverUntil = f.env.Now().Add(f.cfg.CheckTimeout)
+	for _, nb := range f.ov.Neighbors() {
+		f.sendReconcileProbe(nb)
 	}
 	return nil
 }

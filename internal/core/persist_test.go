@@ -205,3 +205,92 @@ func TestRecoveryOfDeadGroupResolvesToNotification(t *testing.T) {
 		t.Fatalf("store still holds %d records", store.Len())
 	}
 }
+
+// TestRecoverProbesRebuildDelegateChecking closes the §3.6 delegate item:
+// a restarted node that was a *delegate* on some group's checking tree
+// holds no durable record of that group (only root/member roles persist),
+// so its per-link registry must be rebuilt through its neighbors. On
+// Recover the node probes every neighbor the rejoining overlay acquires
+// with an unsolicited group-list exchange; a neighbor still monitoring
+// groups across the wiped link tears them down immediately and the
+// members drive the root's repair, instead of everyone waiting for the
+// next scheduled ping (up to a full PingInterval) or, if the restarted
+// node never re-pings, a full CheckTimeout.
+func TestRecoverProbesRebuildDelegateChecking(t *testing.T) {
+	c := cluster.New(cluster.Options{N: 48, Seed: 25})
+	rootStore := core.NewMemStore()
+	c.AttachStore(0, rootStore)
+
+	id, err := c.CreateGroup(0, 12, 24, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunFor(30 * time.Second) // let installs settle
+
+	// Find a delegate: checking state, but not root or member.
+	members := map[int]bool{0: true, 12: true, 24: true, 36: true}
+	delegate := -1
+	for i, n := range c.Nodes {
+		if !members[i] && n.Fuse.HasState(id) {
+			delegate = i
+			break
+		}
+	}
+	if delegate < 0 {
+		t.Skip("no delegate on this seed (direct tree)")
+	}
+
+	notices := 0
+	for m := range members {
+		c.Nodes[m].Fuse.RegisterFailureHandler(func(core.Notice) { notices++ }, id)
+	}
+	seqBefore := rootSeq(t, rootStore, id)
+
+	// Brief delegate crash: short enough that no neighbor's ping timeout
+	// can have fired by the time we assert (earliest ping-driven death is
+	// PingTimeout after the crash).
+	c.Crash(delegate)
+	c.Sim.RunFor(5 * time.Second)
+	if _, err := c.RestartWithStore(delegate, c.Nodes[0].Ref(), core.NewMemStore()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The probe-driven teardown/repair cycle costs a few RTTs once the
+	// rejoining overlay's ring search re-acquires the tree-link neighbor
+	// (a handful of seconds). Assert it completed within 12 virtual
+	// seconds: strictly before the earliest ping-timeout path could fire
+	// (PingTimeout after the crash = 15 s after this recovery) and far
+	// below the PingInterval (60 s) and CheckTimeout (90 s) that bound
+	// the un-probed discovery paths.
+	c.Sim.RunFor(12 * time.Second)
+	if got := rootSeq(t, rootStore, id); got <= seqBefore {
+		t.Fatalf("root repair seq still %d after recovery probes (was %d); tree not rebuilt", got, seqBefore)
+	}
+
+	// The repair must converge without any application notification.
+	c.Sim.RunFor(15 * time.Minute)
+	if notices != 0 {
+		t.Fatalf("delegate recovery produced %d notifications, want 0", notices)
+	}
+	for m := range members {
+		if !c.Nodes[m].Fuse.HasState(id) {
+			t.Fatalf("node %d lost the group after delegate recovery", m)
+		}
+	}
+}
+
+// rootSeq reads the persisted repair generation of id's root record.
+func rootSeq(t *testing.T, s *core.MemStore, id core.GroupID) uint64 {
+	t.Helper()
+	recs, err := s.LoadGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ID == id && r.IsRoot {
+			return r.Seq
+		}
+	}
+	t.Fatal("root record missing")
+	return 0
+}

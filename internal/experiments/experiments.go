@@ -80,6 +80,7 @@ func (r *Result) String() string {
 type Runner func(p Params) (*Result, error)
 
 var registry = map[string]Runner{
+	"churn":      ChurnReliability,
 	"fig6":       Fig6RPCLatency,
 	"fig7":       Fig7GroupCreation,
 	"fig8":       Fig8SignaledNotification,

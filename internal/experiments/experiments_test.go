@@ -27,7 +27,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestNamesComplete(t *testing.T) {
-	want := []string{"ablation", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "manygroups", "paperscale", "steady", "svtree", "swimcmp"}
+	want := []string{"ablation", "churn", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "manygroups", "paperscale", "steady", "svtree", "swimcmp"}
 	got := experiments.Names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v", got)
@@ -162,6 +162,20 @@ func TestPaperScaleScaledDown(t *testing.T) {
 	// A 1000-node overlay generates ~600 msg/s of pings+acks on its own.
 	if m["msg_per_s"] > 1000 {
 		t.Fatalf("steady-state load %v msg/s: groups are generating traffic", m["msg_per_s"])
+	}
+}
+
+// TestChurnReliability is the §7.4 acceptance gate: the sweep (>=3
+// churn rates x 5 seeds, each run audited by the scenario harness) must
+// deliver every expected notification with zero missed and zero
+// duplicates.
+func TestChurnReliability(t *testing.T) {
+	m := short(t, "churn")
+	if m["rates"] < 3 || m["seeds"] < 5 {
+		t.Fatalf("sweep too small: %v rates x %v seeds", m["rates"], m["seeds"])
+	}
+	if m["missed"] != 0 || m["duplicates"] != 0 {
+		t.Fatalf("exactly-once broken under churn: %v missed, %v duplicated", m["missed"], m["duplicates"])
 	}
 }
 

@@ -148,6 +148,7 @@ func (n *Node) syncPings() {
 		// would be.
 		phase := time.Duration(n.env.Rand().Int63n(int64(n.cfg.PingInterval) + 1))
 		ps.timer = n.env.After(phase, func() { n.pingTick(ps) })
+		n.client.OnNeighborUp(ref)
 	}
 }
 

@@ -118,6 +118,14 @@ type Client interface {
 	// liveness check and has been removed from the table. It fires
 	// before the overlay attempts to repair the table entry.
 	OnNeighborDown(neighbor NodeRef)
+
+	// OnNeighborUp reports that a node entered the routing table and is
+	// now monitored with liveness pings. It fires for every neighbor:
+	// during assembly, on join, and as churn repairs the table. FUSE uses
+	// it after a crash recovery to reconcile checking state with each
+	// neighbor as soon as the link exists instead of waiting for the
+	// first ping exchange.
+	OnNeighborUp(neighbor NodeRef)
 }
 
 // nopClient lets a Node run without an attached client.
@@ -127,6 +135,7 @@ func (nopClient) OnRouteMessage(transport.Message, RouteInfo) {}
 func (nopClient) PingPayload(NodeRef) []byte                  { return nil }
 func (nopClient) OnPingPayload(NodeRef, []byte)               {}
 func (nopClient) OnNeighborDown(NodeRef)                      {}
+func (nopClient) OnNeighborUp(NodeRef)                        {}
 
 // Node is one overlay participant. It must only be touched from its Env's
 // event loop (message handler and timer callbacks).

@@ -40,6 +40,7 @@ type recClient struct {
 	routes    []RouteInfo
 	payloads  map[string][]byte // last payload per pinger name
 	down      []NodeRef
+	up        []NodeRef
 	provide   func(neighbor NodeRef) []byte
 	onMessage func(msg transport.Message, info RouteInfo)
 }
@@ -67,6 +68,10 @@ func (c *recClient) OnPingPayload(neighbor NodeRef, payload []byte) {
 
 func (c *recClient) OnNeighborDown(neighbor NodeRef) {
 	c.down = append(c.down, neighbor)
+}
+
+func (c *recClient) OnNeighborUp(neighbor NodeRef) {
+	c.up = append(c.up, neighbor)
 }
 
 func newCluster(t testing.TB, n int, seed int64, cfg Config) *cluster {

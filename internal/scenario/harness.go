@@ -1,0 +1,220 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fuse/internal/core"
+)
+
+// The invariant harness: one track per group accumulates every failure
+// notification delivered to any member incarnation; check audits the
+// run against the paper's guarantees.
+
+type incKey struct{ node, inc int }
+
+type notice struct {
+	node, inc int
+	at        time.Duration
+	reason    core.Reason
+}
+
+// track is the harness record for one group.
+type track struct {
+	spec     GroupSpec
+	id       core.GroupID
+	attached map[int]int // node -> incarnation the handler is registered on
+	counts   map[incKey]int
+	notices  []notice
+}
+
+// nodes returns the group's node indices, root first.
+func (tr *track) nodes() []int {
+	return append([]int{tr.spec.Root}, tr.spec.Members...)
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Name string
+
+	Groups   int
+	Failed   int // groups whose members were notified / tore down
+	Survived int // groups intact everywhere with zero notices
+
+	Notices    int // total handler invocations observed
+	Duplicates int // invocations beyond the first for one (node, incarnation)
+	Missed     int // eligible members of failed groups never notified
+
+	// MaxLatency is the widest observed span from the fault that felled
+	// a group (the latest scheduled fault at or before its first notice)
+	// to that group's last delivered notification.
+	MaxLatency time.Duration
+
+	// Violations lists every invariant breach; empty means the run
+	// upheld exactly-once delivery, no lost notifications, consistency,
+	// the script's expectations, and the latency bound.
+	Violations []string
+
+	// Trace is the byte-deterministic event log: setup lines, every
+	// applied action, every churn flip, every delivered notification.
+	Trace string
+}
+
+// OK reports whether the run upheld every invariant.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Stats renders the report's statistics (without the trace) in a stable
+// format; determinism tests compare it across runs, experiments print it.
+func (r *Report) Stats() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: groups=%d failed=%d survived=%d notices=%d duplicates=%d missed=%d max_latency=%s\n",
+		r.Name, r.Groups, r.Failed, r.Survived, r.Notices, r.Duplicates, r.Missed, r.MaxLatency)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+func (r *Report) violationf(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// check audits every track at the end of the run.
+func (e *Engine) check() *Report {
+	r := &Report{Name: e.script.Name, Groups: len(e.tracks)}
+	for _, msg := range e.errs {
+		r.violationf("engine: %s", msg)
+	}
+
+	expectFail := make(map[int]bool, len(e.script.ExpectFail))
+	for _, gi := range e.script.ExpectFail {
+		expectFail[gi] = true
+	}
+	expectSurvive := make(map[int]bool, len(e.script.ExpectSurvive))
+	for _, gi := range e.script.ExpectSurvive {
+		expectSurvive[gi] = true
+	}
+
+	for gi, tr := range e.tracks {
+		r.Notices += len(tr.notices)
+
+		// Exactly-once: no (node, incarnation) hears about a group twice,
+		// ever - regardless of how the run went.
+		for _, n := range tr.nodes() {
+			for inc := 0; inc <= e.inc[n]; inc++ {
+				if c := tr.counts[incKey{n, inc}]; c > 1 {
+					r.Duplicates += c - 1
+					r.violationf("group %d: node %d (incarnation %d) notified %d times", gi, n, inc, c)
+				}
+			}
+		}
+
+		// Eligible members: up at the end of the run, with the audited
+		// handler still registered on the current incarnation. (A node
+		// that restarted without stable storage is a fresh process with
+		// no knowledge of the group - the paper exempts it; one that
+		// recovered via §3.6 was re-registered and stays audited.)
+		var eligible []int
+		for _, n := range tr.nodes() {
+			if !e.c.Crashed(n) && tr.attached[n] == e.inc[n] {
+				eligible = append(eligible, n)
+			}
+		}
+
+		// A group failed if anyone was ever notified, or any eligible
+		// member no longer holds state (its view was torn down).
+		failed := len(tr.notices) > 0
+		for _, n := range eligible {
+			if !e.c.Nodes[n].Fuse.HasState(tr.id) {
+				failed = true
+			}
+		}
+
+		if failed {
+			r.Failed++
+			// No lost notifications, and failure is group-wide: every
+			// eligible member heard exactly once and holds no state.
+			for _, n := range eligible {
+				cnt := tr.counts[incKey{n, e.inc[n]}]
+				if cnt == 0 {
+					r.Missed++
+					r.violationf("group %d failed but node %d was never notified", gi, n)
+				}
+				if e.c.Nodes[n].Fuse.HasState(tr.id) {
+					r.violationf("group %d failed but node %d still holds state", gi, n)
+				}
+			}
+			if expectSurvive[gi] {
+				r.violationf("group %d failed but the script expected it to survive", gi)
+			}
+			if lat, ok := e.groupLatency(gi, tr); ok {
+				if lat > r.MaxLatency {
+					r.MaxLatency = lat
+				}
+				if e.script.LatencyBound > 0 && lat > e.script.LatencyBound {
+					r.violationf("group %d: detection latency %s exceeds bound %s", gi, lat, e.script.LatencyBound)
+				}
+			}
+		} else {
+			r.Survived++
+			if expectFail[gi] {
+				r.violationf("group %d survived but the script expected it to fail", gi)
+			}
+		}
+	}
+	r.Trace = e.trace.String()
+	return r
+}
+
+// groupLatency attributes a failed group's notifications to a cause
+// fault and returns the span from it to the last notice. Preference
+// order: the latest fault at or before the first notice that names this
+// group (Signal) or touches one of its nodes; failing that, the latest
+// fault of any kind (a delegate churn flip can fell a group without
+// touching its members); failing that, the first notice itself.
+func (e *Engine) groupLatency(gi int, tr *track) (time.Duration, bool) {
+	if len(tr.notices) == 0 {
+		return 0, false
+	}
+	first, last := tr.notices[0].at, tr.notices[0].at
+	for _, n := range tr.notices[1:] {
+		if n.at < first {
+			first = n.at
+		}
+		if n.at > last {
+			last = n.at
+		}
+	}
+	member := make(map[int]bool, 4)
+	for _, n := range tr.nodes() {
+		member[n] = true
+	}
+	ours, any := time.Duration(-1), time.Duration(-1)
+	for _, f := range e.faults {
+		if f.at > first {
+			continue
+		}
+		if f.at > any {
+			any = f.at
+		}
+		touches := f.group == gi
+		for _, n := range f.nodes {
+			if member[n] {
+				touches = true
+				break
+			}
+		}
+		if touches && f.at > ours {
+			ours = f.at
+		}
+	}
+	cause := ours
+	if cause < 0 {
+		cause = any
+	}
+	if cause < 0 {
+		cause = first
+	}
+	return last - cause, true
+}

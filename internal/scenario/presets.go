@@ -1,0 +1,271 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fuse/internal/cluster"
+)
+
+// Presets: the recurring failure drills, each a ~20-line script mapped
+// to the paper section it reproduces. BuildPreset returns the cluster
+// and script; run with Run(c, s).
+
+// Params scales a preset.
+type Params struct {
+	// Nodes is the deployment size; 0 means the preset's default.
+	Nodes int
+	// Seed drives all randomness (same seed => identical run).
+	Seed int64
+	// Short trims windows for use under `go test`.
+	Short bool
+	// Groups overrides the churn preset's group count; 0 means default.
+	Groups int
+	// MeanDwell overrides the churn preset's mean up/down dwell time
+	// (the churn rate axis of §7.4); 0 means default.
+	MeanDwell time.Duration
+	// Window overrides the churn preset's churn window; 0 means default.
+	Window time.Duration
+}
+
+type presetBuilder func(p Params) (*cluster.Cluster, Script, error)
+
+var presets = map[string]presetBuilder{
+	"churn":          churnPreset,
+	"intransitive":   intransitivePreset,
+	"partition-heal": partitionHealPreset,
+	"restart":        restartPreset,
+}
+
+// minNodes is each preset's smallest usable deployment: the scripts pin
+// concrete node indices (members, ramp endpoints, churn population), so
+// a smaller override would index past the node slice mid-run. The churn
+// floor additionally guarantees that the default six groups keep a
+// surviving member outside the crash set (churnPreset re-checks this
+// exactly for custom group counts).
+var minNodes = map[string]int{
+	"churn":          20,
+	"intransitive":   16,
+	"partition-heal": 32,
+	"restart":        21,
+}
+
+// Names lists the available presets, sorted.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for k := range presets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildPreset constructs the named preset's cluster and script.
+func BuildPreset(name string, p Params) (*cluster.Cluster, Script, error) {
+	b, ok := presets[name]
+	if !ok {
+		return nil, Script{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, Names())
+	}
+	if p.Nodes != 0 && p.Nodes < minNodes[name] {
+		return nil, Script{}, fmt.Errorf("scenario: preset %q needs at least %d nodes (got %d)", name, minNodes[name], p.Nodes)
+	}
+	return b(p)
+}
+
+func (p Params) nodes(def int) int {
+	if p.Nodes > 0 {
+		return p.Nodes
+	}
+	return def
+}
+
+// ChurnWindow returns the churn window the churn preset will use for p:
+// how long the Poisson process actually runs. Experiments normalize
+// realized fault rates by this, not by the script's full duration
+// (which also spans setup, the crash phase, and the drain).
+func ChurnWindow(p Params) time.Duration {
+	if p.Window > 0 {
+		return p.Window
+	}
+	if p.Short {
+		return 8 * time.Minute
+	}
+	return 15 * time.Minute
+}
+
+// restartPreset is the §3.6 drill: one member crashes briefly and
+// recovers from stable storage - the group must survive without any
+// notification (the restart is masked, resumed via Recover). A second
+// member crashes and restarts *without* storage - its group must fail
+// and notify every remaining member exactly once.
+func restartPreset(p Params) (*cluster.Cluster, Script, error) {
+	n := p.nodes(32)
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	s := Script{
+		Name: "restart",
+		Groups: []GroupSpec{
+			{Root: 0, Members: []int{10, 20}, Stores: []int{10}},
+			{Root: 3, Members: []int{9, 15}},
+		},
+		Events: []Event{
+			// Brief crash, well under the neighbor ping timeout: stable
+			// storage masks it (§3.6).
+			{At: 2 * time.Minute, Do: Crash{Node: 10}},
+			{At: 2*time.Minute + 10*time.Second, Do: Restart{Node: 10, Bootstrap: 0, Recover: true}},
+			// Same brief crash without storage: the fresh process has
+			// forgotten the group, so repair must fail it.
+			{At: 12 * time.Minute, Do: Crash{Node: 9}},
+			{At: 12*time.Minute + 10*time.Second, Do: Restart{Node: 9, Bootstrap: 3}},
+		},
+		Duration:      30 * time.Minute,
+		ExpectSurvive: []int{0},
+		ExpectFail:    []int{1},
+		LatencyBound:  10 * time.Minute,
+	}
+	return c, s, nil
+}
+
+// partitionHealPreset is the §3 partition drill with selective healing:
+// a group spanning the cut must fail on both sides; a group inside one
+// side must survive the partition *and* its repair traffic; and healing
+// the partition must not disturb the unrelated loss ramp installed
+// before it (the composability the engine needs from simnet).
+func partitionHealPreset(p Params) (*cluster.Cluster, Script, error) {
+	n := p.nodes(40)
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	half := n / 2
+	sideA := make([]int, half)
+	sideB := make([]int, n-half)
+	for i := range sideA {
+		sideA[i] = i
+	}
+	for i := range sideB {
+		sideB[i] = half + i
+	}
+	sides := [][]int{sideA, sideB}
+	s := Script{
+		Name: "partition-heal",
+		Groups: []GroupSpec{
+			{Root: 2, Members: []int{5, half + 5}}, // spans the cut
+			{Root: 8, Members: []int{11, 14}},      // inside side A
+		},
+		Events: []Event{
+			{At: time.Minute, Do: LossRamp{A: half + 10, B: half + 15, From: 0, To: 0.3, Steps: 4, Over: 4 * time.Minute}},
+			{At: 2 * time.Minute, Do: Partition{Sides: sides}},
+			{At: 21 * time.Minute, Do: Heal{Sides: sides}},
+		},
+		Duration:      35 * time.Minute,
+		ExpectFail:    []int{0},
+		ExpectSurvive: []int{1},
+		LatencyBound:  10 * time.Minute,
+	}
+	return c, s, nil
+}
+
+// intransitivePreset is the §3.4 drill (converted from the old
+// examples/intransitive): the two workers lose connectivity to each
+// other only. FUSE's monitored tree does not use that path, so nothing
+// fires for ten minutes - the hard case where a membership service must
+// either lie or block. The application then hits the broken path and
+// signals, and all three members (including the pair that cannot talk
+// to each other) converge on the failure exactly once.
+func intransitivePreset(p Params) (*cluster.Cluster, Script, error) {
+	n := p.nodes(24)
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	s := Script{
+		Name: "intransitive",
+		Groups: []GroupSpec{
+			{Root: 2, Members: []int{8, 15}},
+		},
+		Events: []Event{
+			{At: time.Minute, Do: BlockPair{A: 8, B: 15}},
+			// Ten minutes of nothing: the block is invisible to the
+			// monitored paths. Then fail-on-send.
+			{At: 11 * time.Minute, Do: Signal{Node: 8, Group: 0}},
+		},
+		Duration:     14 * time.Minute,
+		ExpectFail:   []int{0},
+		LatencyBound: 2 * time.Minute,
+	}
+	return c, s, nil
+}
+
+// churnPreset is the §7.4 drill: groups pinned to stable nodes while
+// the rest of the overlay churns with exponentially distributed dwell
+// times (restarts without storage, as in the paper), then one member of
+// every group crashes. Every group must fail and notify each surviving
+// member exactly once - notification reliability under churn.
+func churnPreset(p Params) (*cluster.Cluster, Script, error) {
+	n := p.nodes(40)
+	stable := n * 3 / 5
+	groups := p.Groups
+	if groups <= 0 {
+		groups = 6
+	}
+	dwell := p.MeanDwell
+	if dwell <= 0 {
+		dwell = 8 * time.Minute
+	}
+	window := ChurnWindow(p)
+
+	s := Script{Name: "churn"}
+	crash := make(map[int]bool)
+	// Quarter-stride placement: each group's nodes sit a quarter of the
+	// stable population apart in the name space, so the InstallChecking
+	// routes between them cross intermediate hops - delegates that may
+	// well be churners. Consecutive indices would be ring neighbors with
+	// direct (delegate-free) tree links, and churn would never touch the
+	// checking trees. The three offsets are distinct for any stable >= 4
+	// (integer division keeps them strictly increasing and below
+	// stable; BuildPreset's node floor guarantees that), so a group can
+	// never list the same node twice regardless of the group count.
+	for g := 0; g < groups; g++ {
+		spec := GroupSpec{
+			Root: g % stable,
+			Members: []int{
+				(g + stable/4) % stable,
+				(g + stable/2) % stable,
+				(g + 3*stable/4) % stable,
+			},
+		}
+		s.Groups = append(s.Groups, spec)
+		s.ExpectFail = append(s.ExpectFail, g)
+		crash[spec.Members[2]] = true
+	}
+	// Every group must keep at least one member out of the crash set, or
+	// there is nobody left to notify and the drill is vacuous (with many
+	// groups on a small stable population the victims can cover it).
+	for g, spec := range s.Groups {
+		survivors := 0
+		for _, m := range append([]int{spec.Root}, spec.Members...) {
+			if !crash[m] {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			return nil, Script{}, fmt.Errorf(
+				"scenario: churn preset with %d groups on %d stable nodes leaves group %d with no surviving member; use more nodes or fewer groups",
+				groups, stable, g)
+		}
+	}
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+
+	churnStart := 30 * time.Second
+	s.Events = append(s.Events,
+		Event{At: churnStart, Do: ChurnStart{First: stable, Count: n - stable, MeanDwell: dwell, Bootstrap: 0}},
+		Event{At: churnStart + window, Do: ChurnStop{}},
+	)
+	crashAt := churnStart + window + time.Minute
+	victims := make([]int, 0, len(crash))
+	for v := range crash {
+		victims = append(victims, v)
+	}
+	sort.Ints(victims)
+	for _, v := range victims {
+		s.Events = append(s.Events, Event{At: crashAt, Do: Crash{Node: v}})
+	}
+	s.Duration = crashAt + 10*time.Minute
+	s.LatencyBound = 8 * time.Minute
+	return c, s, nil
+}

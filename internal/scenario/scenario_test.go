@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// run builds and executes a preset, failing the test on any invariant
+// violation.
+func run(t *testing.T, name string, p Params) *Report {
+	t.Helper()
+	c, s, err := BuildPreset(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scenario %s violated invariants:\n%s\ntrace:\n%s", name, rep.Stats(), rep.Trace)
+	}
+	return rep
+}
+
+// TestDeterminism: the same seed and script produce a byte-identical
+// event trace and identical harness statistics across two runs. The
+// churn preset is the most randomness-hungry script (Poisson dwell
+// times drawn from the simulation rng, overlay rejoin traffic), so it
+// is the sharpest determinism probe.
+func TestDeterminism(t *testing.T) {
+	p := Params{Seed: 5, Short: true}
+	a := run(t, "churn", p)
+	b := run(t, "churn", p)
+	if a.Trace != b.Trace {
+		t.Fatal("same seed + script produced different event traces")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same seed + script produced different stats:\n%s\nvs\n%s", a.Stats(), b.Stats())
+	}
+	if a.Trace == "" || !strings.Contains(a.Trace, "churn crash") {
+		t.Fatal("trace did not record churn activity")
+	}
+
+	// And the seed matters: a different seed gives a different run.
+	c, s, err := BuildPreset("churn", Params{Seed: 6, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Run(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Trace == a.Trace {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestIntransitiveExactlyOnce is the §3.4 regression (converted from
+// the old examples/intransitive): an intransitive connectivity failure
+// between the two workers must produce no automatic notification - the
+// monitored tree does not use the broken path - and the subsequent
+// application signal must reach all three members exactly once,
+// including the pair that cannot talk to each other.
+func TestIntransitiveExactlyOnce(t *testing.T) {
+	rep := run(t, "intransitive", Params{Seed: 7})
+	if rep.Failed != 1 || rep.Notices != 3 || rep.Duplicates != 0 || rep.Missed != 0 {
+		t.Fatalf("want 1 failed group, 3 exactly-once notices; got %s", rep.Stats())
+	}
+	// No false positive during the ten minutes the pair was blocked:
+	// every notification in the trace comes after the signal.
+	sig := strings.Index(rep.Trace, "signal group=0")
+	if sig < 0 {
+		t.Fatalf("trace missing signal event:\n%s", rep.Trace)
+	}
+	if notify := strings.Index(rep.Trace, "notify group=0"); notify >= 0 && notify < sig {
+		t.Fatalf("notification before the application signal (false positive):\n%s", rep.Trace)
+	}
+}
+
+// TestRestartLifecycle is the §3.6 drill: a brief crash with stable
+// storage is masked (the recovered member resumes via Recover, no
+// notification anywhere), while the same crash without storage fails
+// the group and notifies the survivors exactly once.
+func TestRestartLifecycle(t *testing.T) {
+	rep := run(t, "restart", Params{Seed: 3})
+	if rep.Survived != 1 || rep.Failed != 1 {
+		t.Fatalf("want 1 survived + 1 failed, got %s", rep.Stats())
+	}
+	if strings.Contains(rep.Trace, "notify group=0") {
+		t.Fatalf("group 0 (restart with persistence) was notified:\n%s", rep.Trace)
+	}
+	// The root and the remaining member of group 1 each hear exactly
+	// once; the restarted-without-storage node is a fresh process.
+	if n := strings.Count(rep.Trace, "notify group=1"); n != 2 {
+		t.Fatalf("group 1 notified %d times, want 2:\n%s", n, rep.Trace)
+	}
+}
+
+// TestPartitionHealsSelectively checks both the scenario outcome (the
+// spanning group fails on both sides, the intra-side group survives)
+// and the rule plumbing underneath: healing the partition must leave
+// the unrelated loss ramp in force - exactly the per-pair composability
+// ClearRule/HealPartition were added for.
+func TestPartitionHealsSelectively(t *testing.T) {
+	c, s, err := BuildPreset("partition-heal", Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations:\n%s\ntrace:\n%s", rep.Stats(), rep.Trace)
+	}
+	if rep.Failed != 1 || rep.Survived != 1 {
+		t.Fatalf("want 1 failed + 1 survived, got %s", rep.Stats())
+	}
+	// After the selective heal only the ramp's two directional loss
+	// overrides remain.
+	n := len(c.Nodes)
+	a, b := c.Nodes[n/2+10].Addr, c.Nodes[n/2+15].Addr
+	if loss, ok := c.Net.LossOverride(a, b); !ok || loss != 0.3 {
+		t.Fatalf("loss ramp gone after heal: %v,%v", loss, ok)
+	}
+	if got := c.Net.RuleCount(); got != 2 {
+		t.Fatalf("rule table holds %d entries after heal, want 2 (the ramp)", got)
+	}
+}
+
+// TestChurnInvariants: under Poisson churn plus a crash of one member
+// per group, every group fails and every surviving member hears exactly
+// once - zero missed, zero duplicated.
+func TestChurnInvariants(t *testing.T) {
+	rep := run(t, "churn", Params{Seed: 1, Short: true})
+	if rep.Failed != rep.Groups || rep.Missed != 0 || rep.Duplicates != 0 {
+		t.Fatalf("churn run inconsistent: %s", rep.Stats())
+	}
+	// 6 groups x 3 surviving members (the crashed member is exempt).
+	if rep.Notices != 18 {
+		t.Fatalf("got %d notices, want 18: %s", rep.Notices, rep.Stats())
+	}
+	if rep.MaxLatency <= 0 || rep.MaxLatency > 8*time.Minute {
+		t.Fatalf("max latency %s out of range", rep.MaxLatency)
+	}
+}
+
+// TestHarnessCatchesBrokenExpectations: the harness itself must flag a
+// script whose expectations contradict the run (a surviving group
+// declared ExpectFail), or it proves nothing.
+func TestHarnessCatchesBrokenExpectations(t *testing.T) {
+	c, s, err := BuildPreset("restart", Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert the expectations: the persistent group is now "expected"
+	// to fail.
+	s.ExpectFail, s.ExpectSurvive = s.ExpectSurvive, s.ExpectFail
+	rep, err := Run(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("harness accepted a run that contradicted the script's expectations")
+	}
+}
+
+// TestPresetRejectsUndersizedOverlay: presets pin concrete node
+// indices, so a -nodes override below the preset's floor must be a
+// clean error, not an index panic mid-run.
+func TestPresetRejectsUndersizedOverlay(t *testing.T) {
+	for name, min := range map[string]int{
+		"churn": 20, "intransitive": 16, "partition-heal": 32, "restart": 21,
+	} {
+		if _, _, err := BuildPreset(name, Params{Seed: 1, Nodes: min - 1}); err == nil {
+			t.Errorf("%s accepted %d nodes, floor is %d", name, min-1, min)
+		}
+		if _, _, err := BuildPreset(name, Params{Seed: 1, Nodes: min}); err != nil {
+			t.Errorf("%s rejected its own floor %d: %v", name, min, err)
+		}
+	}
+}

@@ -12,9 +12,13 @@
 // message is dropped entirely - the socket-break behaviour that produces
 // the paper's Figure 12 false positives at high loss rates.
 //
-// The package also provides the fault injection the experiments need:
-// node crash and restart, directional link blocking (for intransitive
-// connectivity), and full partitions.
+// The package also provides the fault injection the experiments and the
+// scenario engine need: node crash and restart, endpoint detach/rejoin,
+// directional link blocking (for intransitive connectivity), per-pair
+// loss overrides, and full partitions. Blocks and loss overrides on a
+// pair compose independently and are removable one at a time (ClearRule,
+// ClearLinkLoss, HealPartition), so one injected fault can heal while
+// others persist.
 //
 // The send path is engineered for paper-scale overlays (16,000 nodes
 // exchanging hundreds of thousands of pings per virtual minute): every
@@ -126,7 +130,10 @@ type node struct {
 	handler transport.Handler
 	rng     *rand.Rand
 	crashed bool
-	epoch   uint64 // incremented on restart; stale callbacks are dropped
+	// detached unplugs the endpoint from the network while its process
+	// keeps running (timers fire, sends and receives are dropped).
+	detached bool
+	epoch    uint64 // incremented on restart; stale callbacks are dropped
 	// nextFree is when the sender-side serialization queue drains, as an
 	// offset from the simulation epoch (plain integer arithmetic on the
 	// send path, no time.Time).
@@ -179,7 +186,7 @@ func (d *delivery) deliver() {
 	dst, from, msg, epoch := d.dst, d.from, d.msg, d.epoch
 	d.dst, d.msg = nil, nil
 	net.freeDeliveries = append(net.freeDeliveries, d)
-	if dst.crashed || dst.epoch != epoch || dst.handler == nil {
+	if dst.crashed || dst.detached || dst.epoch != epoch || dst.handler == nil {
 		net.dropped++
 		transport.ReleaseMessage(msg)
 		return
@@ -226,10 +233,14 @@ func (n *Net) Crash(addr transport.Addr) {
 
 // Restart revives a crashed node with no handler and a new timer epoch,
 // modelling a process that lost all volatile state. The caller installs a
-// fresh protocol stack with SetHandler.
+// fresh protocol stack with SetHandler. Restart replaces the whole
+// endpoint, so a Detach in force is cleared too - the revived node can
+// reach the network again (re-issue Detach after Restart to model a
+// node that comes back up behind a dead link).
 func (n *Net) Restart(addr transport.Addr) transport.Env {
 	nd := n.mustNode(addr)
 	nd.crashed = false
+	nd.detached = false
 	nd.epoch++
 	nd.handler = nil
 	nd.nextFree = n.sim.Elapsed()
@@ -250,8 +261,21 @@ func (n *Net) mustNode(addr transport.Addr) *node {
 	return nd
 }
 
+// setRule stores r for the pair, dropping the entry entirely once neither
+// a block nor a loss override remains. Blocks and loss overrides live in
+// the same entry but compose independently: removing one never disturbs
+// the other, so a partition can heal while a loss ramp persists.
+func (n *Net) setRule(p rulePair, r rule) {
+	if !r.block && !r.hasLoss {
+		delete(n.rules, p)
+		return
+	}
+	n.rules[p] = r
+}
+
 // BlockLink drops all traffic from -> to (directional, so intransitive
-// connectivity failures can be modelled).
+// connectivity failures can be modelled). Any loss override on the pair
+// is preserved for when the block is lifted.
 func (n *Net) BlockLink(from, to transport.Addr) {
 	r := n.rules[rulePair{from, to}]
 	r.block = true
@@ -264,21 +288,66 @@ func (n *Net) BlockBoth(a, b transport.Addr) {
 	n.BlockLink(b, a)
 }
 
-// UnblockLink removes a directional block.
+// UnblockLink removes a directional block, leaving any loss override on
+// the pair in force.
 func (n *Net) UnblockLink(from, to transport.Addr) {
-	r := n.rules[rulePair{from, to}]
+	p := rulePair{from, to}
+	r, ok := n.rules[p]
+	if !ok {
+		return
+	}
 	r.block = false
-	n.rules[rulePair{from, to}] = r
+	n.setRule(p, r)
+}
+
+// UnblockBoth removes the blocks in both directions between a and b.
+func (n *Net) UnblockBoth(a, b transport.Addr) {
+	n.UnblockLink(a, b)
+	n.UnblockLink(b, a)
 }
 
 // SetLinkLoss overrides the end-to-end loss probability for the
-// directional pair, replacing the topology-derived route loss.
+// directional pair, replacing the topology-derived route loss. Any block
+// on the pair is preserved.
 func (n *Net) SetLinkLoss(from, to transport.Addr, loss float64) {
 	r := n.rules[rulePair{from, to}]
 	r.loss = loss
 	r.hasLoss = true
 	n.rules[rulePair{from, to}] = r
 }
+
+// ClearLinkLoss removes a directional loss override, restoring the
+// topology-derived route loss while leaving any block in force.
+func (n *Net) ClearLinkLoss(from, to transport.Addr) {
+	p := rulePair{from, to}
+	r, ok := n.rules[p]
+	if !ok {
+		return
+	}
+	r.loss, r.hasLoss = 0, false
+	n.setRule(p, r)
+}
+
+// ClearRule removes every override (block and loss) on the directional
+// pair in one step.
+func (n *Net) ClearRule(from, to transport.Addr) {
+	delete(n.rules, rulePair{from, to})
+}
+
+// Blocked reports whether a directional block is in force on the pair.
+func (n *Net) Blocked(from, to transport.Addr) bool {
+	return n.rules[rulePair{from, to}].block
+}
+
+// LossOverride returns the pair's loss override and whether one is set.
+func (n *Net) LossOverride(from, to transport.Addr) (float64, bool) {
+	r := n.rules[rulePair{from, to}]
+	return r.loss, r.hasLoss
+}
+
+// RuleCount reports how many directional pairs currently carry an
+// override; fault-injection engines use it to verify selective healing.
+func (n *Net) RuleCount() int { return len(n.rules) }
 
 // Partition blocks all traffic between the listed groups (traffic within a
 // group is unaffected).
@@ -294,8 +363,36 @@ func (n *Net) Partition(groups ...[]transport.Addr) {
 	}
 }
 
+// HealPartition removes the blocks a Partition over the same groups
+// installed, and only those: loss overrides and unrelated blocks survive,
+// so one partition can heal while other injected faults persist.
+func (n *Net) HealPartition(groups ...[]transport.Addr) {
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			for _, a := range groups[i] {
+				for _, b := range groups[j] {
+					n.UnblockBoth(a, b)
+				}
+			}
+		}
+	}
+}
+
 // ClearRules removes all blocks and loss overrides.
 func (n *Net) ClearRules() { n.rules = make(map[rulePair]rule) }
+
+// Detach unplugs the endpoint from the network without stopping its
+// process: timers keep firing, but every message it sends or should
+// receive (including ones already in flight) is dropped. The inverse of
+// Rejoin; together they model a node-scoped network outage, which is not
+// expressible as pair rules without enumerating every other endpoint.
+func (n *Net) Detach(addr transport.Addr) { n.mustNode(addr).detached = true }
+
+// Rejoin plugs a detached endpoint back into the network.
+func (n *Net) Rejoin(addr transport.Addr) { n.mustNode(addr).detached = false }
+
+// Detached reports whether the endpoint is currently unplugged.
+func (n *Net) Detached(addr transport.Addr) bool { return n.mustNode(addr).detached }
 
 // Sent returns the number of Send calls that reached the network (from
 // live nodes).
@@ -338,6 +435,11 @@ func (nd *node) After(d time.Duration, fn func()) transport.Timer {
 func (nd *node) Send(to transport.Addr, msg transport.Message) {
 	net := nd.net
 	if nd.crashed {
+		transport.ReleaseMessage(msg)
+		return
+	}
+	if nd.detached {
+		net.dropped++
 		transport.ReleaseMessage(msg)
 		return
 	}

@@ -310,3 +310,133 @@ func TestPerNodeRandDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestRulesComposeAndClearSelectively(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	a, b := addrs[0], addrs[1]
+
+	// A block and a loss override on the same pair coexist...
+	net.SetLinkLoss(a, b, 0.5)
+	net.BlockLink(a, b)
+	if !net.Blocked(a, b) {
+		t.Fatal("block not installed")
+	}
+	if loss, ok := net.LossOverride(a, b); !ok || loss != 0.5 {
+		t.Fatalf("loss override = %v,%v, want 0.5,true", loss, ok)
+	}
+
+	// ...and removing one leaves the other in force.
+	net.UnblockLink(a, b)
+	if net.Blocked(a, b) {
+		t.Fatal("block survived UnblockLink")
+	}
+	if loss, ok := net.LossOverride(a, b); !ok || loss != 0.5 {
+		t.Fatalf("loss override lost by UnblockLink: %v,%v", loss, ok)
+	}
+	net.BlockLink(a, b)
+	net.ClearLinkLoss(a, b)
+	if !net.Blocked(a, b) {
+		t.Fatal("block lost by ClearLinkLoss")
+	}
+	if _, ok := net.LossOverride(a, b); ok {
+		t.Fatal("loss override survived ClearLinkLoss")
+	}
+
+	// ClearRule removes everything at once, and empty entries are dropped
+	// from the table entirely (the send fast path keys off RuleCount).
+	net.SetLinkLoss(a, b, 0.25)
+	net.ClearRule(a, b)
+	if net.RuleCount() != 0 {
+		t.Fatalf("RuleCount = %d after ClearRule, want 0", net.RuleCount())
+	}
+	net.SetLinkLoss(b, a, 0.25)
+	net.BlockLink(b, a)
+	net.UnblockLink(b, a)
+	net.ClearLinkLoss(b, a)
+	if net.RuleCount() != 0 {
+		t.Fatalf("RuleCount = %d after removing both overrides, want 0", net.RuleCount())
+	}
+}
+
+func TestHealPartitionLeavesLossRampIntact(t *testing.T) {
+	net, addrs := testNet(t, 4, Options{})
+	sideA, sideB := addrs[:2], addrs[2:]
+
+	// A loss ramp on an intra-side pair predates the partition.
+	net.SetLinkLoss(sideA[0], sideA[1], 0.9)
+	net.Partition(sideA, sideB)
+	if !net.Blocked(sideA[0], sideB[0]) || !net.Blocked(sideB[1], sideA[1]) {
+		t.Fatal("partition not installed")
+	}
+
+	net.HealPartition(sideA, sideB)
+	for _, a := range sideA {
+		for _, b := range sideB {
+			if net.Blocked(a, b) || net.Blocked(b, a) {
+				t.Fatalf("pair %s<->%s still blocked after heal", a, b)
+			}
+		}
+	}
+	if loss, ok := net.LossOverride(sideA[0], sideA[1]); !ok || loss != 0.9 {
+		t.Fatalf("loss ramp destroyed by HealPartition: %v,%v", loss, ok)
+	}
+	if net.RuleCount() != 1 {
+		t.Fatalf("RuleCount = %d after heal, want 1 (the loss override)", net.RuleCount())
+	}
+}
+
+func TestDetachUnplugsWithoutStoppingTimers(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	a, b := addrs[0], addrs[1]
+	var got []string
+	net.SetHandler(a, func(_ transport.Addr, m transport.Message) { got = append(got, "a:"+m.(*tmsg).V) })
+	net.SetHandler(b, func(_ transport.Addr, m transport.Message) { got = append(got, "b:"+m.(*tmsg).V) })
+	na, nb := net.nodes[a], net.nodes[b]
+
+	// In-flight messages toward a detached endpoint are dropped.
+	nb.Send(a, str("in-flight"))
+	net.Detach(a)
+	if !net.Detached(a) {
+		t.Fatal("Detached not reported")
+	}
+	// Sends from a detached endpoint are dropped, but its timers run.
+	ticked := false
+	na.After(time.Second, func() {
+		ticked = true
+		na.Send(b, str("from-detached"))
+	})
+	net.sim.Run()
+	if !ticked {
+		t.Fatal("detached node's timer did not fire")
+	}
+	if len(got) != 0 {
+		t.Fatalf("messages crossed a detached endpoint: %v", got)
+	}
+
+	// After Rejoin, traffic flows again in both directions.
+	net.Rejoin(a)
+	na.Send(b, str("up1"))
+	nb.Send(a, str("up2"))
+	net.sim.Run()
+	if len(got) != 2 || got[0] != "b:up1" || got[1] != "a:up2" {
+		t.Fatalf("post-rejoin traffic = %v", got)
+	}
+}
+
+func TestRestartClearsDetach(t *testing.T) {
+	net, addrs := testNet(t, 2, Options{})
+	a, b := addrs[0], addrs[1]
+	var got int
+	net.SetHandler(b, func(transport.Addr, transport.Message) { got++ })
+	net.Detach(a)
+	net.Crash(a)
+	env := net.Restart(a)
+	if net.Detached(a) {
+		t.Fatal("restart left the endpoint detached")
+	}
+	env.Send(b, str("back"))
+	net.sim.Run()
+	if got != 1 {
+		t.Fatalf("restarted node's send not delivered (got %d)", got)
+	}
+}
