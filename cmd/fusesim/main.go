@@ -9,11 +9,17 @@
 // notification (the Figure 9 experiment, parameterized).
 //
 // Alternatively, -scenario runs one of the scenario engine's scripted
-// failure drills (churn, intransitive, partition-heal, restart) and
-// prints its deterministic event trace plus the invariant harness's
-// verdict:
+// failure drills (churn, intransitive, partition-heal, restart) or a
+// scenario .json file (see the README's "writing your own scenario"),
+// and prints its deterministic event trace, per-fault latency
+// attribution, and the invariant harness's verdict:
 //
 //	fusesim -scenario restart -seed 3
+//	fusesim -scenario my-drill.json
+//	fusesim -list-scenarios
+//
+// -dump prints the scenario as canonical JSON instead of running it, so
+// a preset can be saved and edited into a custom drill.
 package main
 
 import (
@@ -21,9 +27,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"fuse"
+	"fuse/internal/cluster"
 	"fuse/internal/scenario"
 )
 
@@ -36,14 +44,25 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed (same seed => identical run)")
 		window = flag.Duration("window", 10*time.Minute, "virtual time to observe after the crash")
 		paper  = flag.Bool("paper", false, "use the paper-scale topology (required beyond ~2,880 nodes, e.g. -nodes 16000)")
-		script = flag.String("scenario", "", fmt.Sprintf("run a scripted fault scenario instead (one of %v)", scenario.Names()))
+		script = flag.String("scenario", "", fmt.Sprintf("run a scripted fault scenario instead (one of %v, or a path to a scenario .json file)", scenario.Names()))
 		short  = flag.Bool("short", false, "trim scenario windows (with -scenario)")
+		list   = flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
+		dump   = flag.Bool("dump", false, "with -scenario: print the scenario as canonical JSON instead of running it")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Println("built-in scenario presets (fusesim -scenario <name>):")
+		for _, name := range scenario.Names() {
+			fmt.Printf("  %-15s %s\n", name, scenario.Describe(name))
+		}
+		fmt.Println("\na path ending in .json runs a scenario script file instead (see the README).")
+		return
+	}
 	if *script != "" {
 		// Forward only the sizing flags the user explicitly set, so the
-		// preset's tuned defaults apply otherwise.
-		sp := scenario.Params{Seed: *seed, Short: *short}
+		// preset's (or script file's) tuned defaults apply otherwise.
+		sp := scenario.Params{Short: *short}
+		seedSet := false
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "nodes":
@@ -52,9 +71,15 @@ func main() {
 				sp.Groups = *groups
 			case "window":
 				sp.Window = *window
+			case "seed":
+				seedSet = true
 			}
 		})
-		runScenario(*script, sp)
+		if seedSet || !strings.HasSuffix(*script, ".json") {
+			// A .json file carries its own seed; presets default to 1.
+			sp.Seed = *seed
+		}
+		runScenario(*script, sp, *dump)
 		return
 	}
 	if *size > *nodes || *crash >= *nodes {
@@ -132,13 +157,56 @@ func main() {
 	fmt.Printf("\n%d affected groups, %d notifications delivered; none lost.\n", len(affected), len(events))
 }
 
-// runScenario executes a named scenario-engine preset and prints the
-// deterministic event trace and the invariant harness's verdict.
-func runScenario(name string, sp scenario.Params) {
-	c, s, err := scenario.BuildPreset(name, sp)
+// runScenario executes a scenario-engine preset or a scenario .json
+// file and prints the deterministic event trace, the per-fault latency
+// attribution, and the invariant harness's verdict. With dump set, it
+// prints the scenario as canonical JSON instead of running it.
+func runScenario(name string, sp scenario.Params, dump bool) {
+	var (
+		c    *cluster.Cluster
+		s    scenario.Script
+		seed = sp.Seed
+		err  error
+	)
+	if strings.HasSuffix(name, ".json") {
+		data, rerr := os.ReadFile(name)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: %v\n", rerr)
+			os.Exit(2)
+		}
+		sf, lerr := scenario.Load(data)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: %s: %v\n", name, lerr)
+			os.Exit(2)
+		}
+		if seed == 0 {
+			seed = sf.Seed
+		}
+		c, s, err = sf.Build(sp)
+	} else {
+		c, s, err = scenario.BuildPreset(name, sp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: %v\n(-list-scenarios describes the presets; a path ending in .json runs a scenario script file)\n", err)
+			os.Exit(2)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fusesim: %v\n", err)
 		os.Exit(2)
+	}
+	if dump {
+		sf, err := scenario.ToFile(len(c.Nodes), seed, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := sf.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
 	}
 	rep, err := scenario.Run(c, s)
 	if err != nil {
@@ -146,6 +214,9 @@ func runScenario(name string, sp scenario.Params) {
 		os.Exit(1)
 	}
 	fmt.Print(rep.Trace)
+	if ft := rep.FaultTable(); ft != "" {
+		fmt.Print("per-fault latency attribution:\n" + ft)
+	}
 	fmt.Print(rep.Stats())
 	if !rep.OK() {
 		os.Exit(1)

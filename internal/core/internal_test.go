@@ -221,6 +221,50 @@ func TestInstallsDoNotPostponeLinkFailure(t *testing.T) {
 	}
 }
 
+// TestAggregatedDeadlineFairnessBound pins the fairness bound documented
+// on ensureLinkTimer: a group installed on a link whose shared deadline
+// is already pending waits at most one full CheckTimeout past its own
+// install before the quiet link fails it - never longer (the pending
+// deadline was armed no later than the install), though possibly sooner
+// (it inherits the remaining window).
+func TestAggregatedDeadlineFairnessBound(t *testing.T) {
+	// Mid-window install: the late group inherits the first group's
+	// deadline and is torn down CheckTimeout/3 after its own install -
+	// sooner than a private timer, within the bound.
+	f, env := newFakeFuse("d")
+	peer := ref("peer")
+	first := GroupID{Root: ref("r"), Num: 1}
+	late := GroupID{Root: ref("r"), Num: 2}
+	f.addTreeLink(first, 0, peer)
+	env.advance(2 * f.cfg.CheckTimeout / 3)
+	f.addTreeLink(late, 0, peer)
+	env.advance(f.cfg.CheckTimeout/3 + time.Second)
+	if _, ok := f.checking[late]; ok {
+		t.Fatal("late group outlived the shared deadline: waited more than a full CheckTimeout past its install")
+	}
+
+	// Worst case: the deadline is re-armed by a ping just before the
+	// install, so the late group rides almost the entire shared window -
+	// still alive one step short of install + CheckTimeout, gone at it.
+	f, env = newFakeFuse("d")
+	f.addTreeLink(first, 0, peer)
+	env.advance(f.cfg.CheckTimeout / 2)
+	f.OnPingPayload(peer, f.PingPayload(peer)) // liveness evidence re-arms
+	env.advance(time.Second)
+	f.addTreeLink(late, 0, peer) // then the link goes quiet
+	env.advance(f.cfg.CheckTimeout - 2*time.Second)
+	if _, ok := f.checking[late]; !ok {
+		t.Fatal("late group torn down before the shared deadline it inherited")
+	}
+	env.advance(2 * time.Second)
+	if _, ok := f.checking[late]; ok {
+		t.Fatal("quiet link left the late group past install + CheckTimeout")
+	}
+	if _, ok := f.checking[first]; ok {
+		t.Fatal("quiet link left the first group checking")
+	}
+}
+
 // TestSharedLinkTimerCoversAllGroups pins the timer collapse: many groups
 // over one link share a single deadline, one ping refresh re-arms them
 // all, and expiry fails every group on the link.

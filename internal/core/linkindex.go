@@ -138,6 +138,14 @@ func (f *Fuse) resetLinkTimer(ls *linkState) {
 // the current deadline (an alive link refreshes it by ping well before
 // expiry, and a fresh group's grace period rides on installedAt, not on
 // this clock).
+//
+// Fairness bound: because the pending deadline was armed at some
+// armTime <= install, it expires at armTime + CheckTimeout <= install +
+// CheckTimeout. A group joining a link that then goes quiet therefore
+// waits at most one full CheckTimeout past its own install before its
+// failure is detected - sharing the clock never delays a group beyond
+// what a private timer would have given it, it can only fire sooner.
+// (TestAggregatedDeadlineFairnessBound pins both edges.)
 func (f *Fuse) ensureLinkTimer(ls *linkState) {
 	if ls.timer == nil {
 		f.resetLinkTimer(ls)

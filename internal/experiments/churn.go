@@ -29,6 +29,15 @@ func ChurnReliability(p Params) (*Result, error) {
 	r := newResult("churn", "notification reliability vs. churn rate (§7.4; per-rate totals over seeded runs)")
 	r.addLine("%-12s %6s %8s %8s %8s %6s %6s %12s %10s", "mean dwell", "runs", "groups", "notices", "expected", "missed", "dups", "max latency", "flips/hr")
 
+	// Per-fault latency histogram across the whole sweep: each bucket
+	// counts faults (not notices) by the span from the fault to the last
+	// notification attributed to it. Attribution is per-fault, so
+	// overlapping fault trains - churn flips alongside the scripted
+	// crashes - land in their own buckets instead of smearing into one
+	// first-notice-to-latest-fault span.
+	buckets := []time.Duration{time.Minute, 2 * time.Minute, 4 * time.Minute, 8 * time.Minute}
+	histogram := make([]int, len(buckets)+1)
+
 	totalMissed, totalDups := 0.0, 0.0
 	for _, dwell := range dwells {
 		var (
@@ -67,6 +76,12 @@ func ChurnReliability(p Params) (*Result, error) {
 			if rep.MaxLatency > maxLat {
 				maxLat = rep.MaxLatency
 			}
+			for _, f := range rep.Faults {
+				if f.Notices == 0 {
+					continue // masked or cleared before it felled anything
+				}
+				histogram[bucketOf(buckets, f.Latency)]++
+			}
 		}
 		expected := notices - dups + missed
 		// Normalize by the window the churn process actually ran, not
@@ -85,6 +100,20 @@ func ChurnReliability(p Params) (*Result, error) {
 		totalMissed += float64(missed)
 		totalDups += float64(dups)
 	}
+	r.addLine("per-fault detection latency (faults that caused notifications, all rates):")
+	for i := range histogram {
+		var label string
+		switch {
+		case i == 0:
+			label = fmt.Sprintf("< %s", buckets[0])
+		case i == len(buckets):
+			label = fmt.Sprintf(">= %s", buckets[len(buckets)-1])
+		default:
+			label = fmt.Sprintf("%s - %s", buckets[i-1], buckets[i])
+		}
+		r.addLine("  %-12s %6d", label, histogram[i])
+		r.metric(fmt.Sprintf("latency_bucket_%d", i), float64(histogram[i]))
+	}
 	r.addLine("exactly-once held across the sweep: %d rates x %d seeds, %.0f missed, %.0f duplicated",
 		len(dwells), seeds, totalMissed, totalDups)
 	r.metric("rates", float64(len(dwells)))
@@ -92,4 +121,15 @@ func ChurnReliability(p Params) (*Result, error) {
 	r.metric("missed", totalMissed)
 	r.metric("duplicates", totalDups)
 	return r, nil
+}
+
+// bucketOf returns the histogram bucket index for latency d: position i
+// when d < bounds[i], the overflow bucket len(bounds) otherwise.
+func bucketOf(bounds []time.Duration, d time.Duration) int {
+	for i, b := range bounds {
+		if d < b {
+			return i
+		}
+	}
+	return len(bounds)
 }

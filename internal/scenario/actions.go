@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"fuse/internal/transport"
@@ -18,14 +19,14 @@ import (
 // Crash fail-stops a node: no sends, receives, or timers until restart.
 type Crash struct{ Node int }
 
-func (a Crash) apply(e *Engine) { e.c.Crash(a.Node); e.fault(a.Node) }
+func (a Crash) apply(e *Engine) { e.fault(nodeKey(a.Node), a.String(), a.Node); e.c.Crash(a.Node) }
 func (a Crash) String() string  { return fmt.Sprintf("crash node=%d", a.Node) }
 
 // Stop shuts a node down cleanly (its timers are drained); to the rest
 // of the deployment it is indistinguishable from a crash.
 type Stop struct{ Node int }
 
-func (a Stop) apply(e *Engine) { e.c.Stop(a.Node); e.fault(a.Node) }
+func (a Stop) apply(e *Engine) { e.fault(nodeKey(a.Node), a.String(), a.Node); e.c.Stop(a.Node) }
 func (a Stop) String() string  { return fmt.Sprintf("stop node=%d", a.Node) }
 
 // Restart revives a crashed node with a fresh protocol stack, rejoining
@@ -49,12 +50,12 @@ func (a Restart) String() string {
 type Partition struct{ Sides [][]int }
 
 func (a Partition) apply(e *Engine) {
-	e.c.Net.Partition(e.addrSides(a.Sides)...)
 	var nodes []int
 	for _, side := range a.Sides {
 		nodes = append(nodes, side...)
 	}
-	e.fault(nodes...)
+	e.fault(fmt.Sprintf("partition:%v", a.Sides), a.String(), nodes...)
+	e.c.Net.Partition(e.addrSides(a.Sides)...)
 }
 func (a Partition) String() string { return fmt.Sprintf("partition sides=%v", a.Sides) }
 
@@ -62,8 +63,11 @@ func (a Partition) String() string { return fmt.Sprintf("partition sides=%v", a.
 // installed; other blocks and loss overrides persist.
 type Heal struct{ Sides [][]int }
 
-func (a Heal) apply(e *Engine) { e.c.Net.HealPartition(e.addrSides(a.Sides)...) }
-func (a Heal) String() string  { return fmt.Sprintf("heal sides=%v", a.Sides) }
+func (a Heal) apply(e *Engine) {
+	e.c.Net.HealPartition(e.addrSides(a.Sides)...)
+	e.clearFault(fmt.Sprintf("partition:%v", a.Sides))
+}
+func (a Heal) String() string { return fmt.Sprintf("heal sides=%v", a.Sides) }
 
 // HealAll removes every block and loss override at once, and cancels
 // the remaining steps of every loss ramp (a healed network must not be
@@ -75,6 +79,13 @@ func (a HealAll) apply(e *Engine) {
 	for _, p := range e.ramps {
 		p.stopped = true
 	}
+	// Every network fault ends; node-down faults (crash/stop/detach)
+	// persist until their own clearing action.
+	for key := range e.active {
+		if strings.HasPrefix(key, "loss:") || strings.HasPrefix(key, "block:") || strings.HasPrefix(key, "partition:") {
+			e.clearFault(key)
+		}
+	}
 }
 func (a HealAll) String() string { return "heal all" }
 
@@ -84,16 +95,19 @@ func (a HealAll) String() string { return "heal all" }
 type BlockPair struct{ A, B int }
 
 func (a BlockPair) apply(e *Engine) {
+	e.fault(pairKey("block", a.A, a.B), a.String(), a.A, a.B)
 	e.c.Net.BlockBoth(e.addr(a.A), e.addr(a.B))
-	e.fault(a.A, a.B)
 }
 func (a BlockPair) String() string { return fmt.Sprintf("block pair=%d<->%d", a.A, a.B) }
 
 // UnblockPair restores connectivity between two nodes.
 type UnblockPair struct{ A, B int }
 
-func (a UnblockPair) apply(e *Engine) { e.c.Net.UnblockBoth(e.addr(a.A), e.addr(a.B)) }
-func (a UnblockPair) String() string  { return fmt.Sprintf("unblock pair=%d<->%d", a.A, a.B) }
+func (a UnblockPair) apply(e *Engine) {
+	e.c.Net.UnblockBoth(e.addr(a.A), e.addr(a.B))
+	e.clearFault(pairKey("block", a.A, a.B))
+}
+func (a UnblockPair) String() string { return fmt.Sprintf("unblock pair=%d<->%d", a.A, a.B) }
 
 // SetLoss overrides the loss probability between two nodes (both
 // directions). Only a severe override (>= 0.5, where the emulated
@@ -109,8 +123,14 @@ type SetLoss struct {
 func (a SetLoss) apply(e *Engine) {
 	e.c.Net.SetLinkLoss(e.addr(a.A), e.addr(a.B), a.Loss)
 	e.c.Net.SetLinkLoss(e.addr(a.B), e.addr(a.A), a.Loss)
+	// Rule installation has no synchronous delivery side effects, so the
+	// fault bookkeeping may follow it.
 	if a.Loss >= 0.5 {
-		e.fault(a.A, a.B)
+		e.fault(pairKey("loss", a.A, a.B), a.String(), a.A, a.B)
+	} else {
+		// Dropping below the breaking threshold ends any ongoing loss
+		// fault on the pair; a later severe setting starts a new one.
+		e.clearFault(pairKey("loss", a.A, a.B))
 	}
 }
 func (a SetLoss) String() string { return fmt.Sprintf("loss pair=%d<->%d p=%.3f", a.A, a.B, a.Loss) }
@@ -123,6 +143,7 @@ type ClearLoss struct{ A, B int }
 func (a ClearLoss) apply(e *Engine) {
 	e.c.Net.ClearLinkLoss(e.addr(a.A), e.addr(a.B))
 	e.c.Net.ClearLinkLoss(e.addr(a.B), e.addr(a.A))
+	e.clearFault(pairKey("loss", a.A, a.B))
 	for _, p := range e.ramps {
 		if (p.a == a.A && p.b == a.B) || (p.a == a.B && p.b == a.A) {
 			p.stopped = true
@@ -176,22 +197,31 @@ func (a LossRamp) String() string {
 // (timers keep firing) and from a partition (no pair enumeration).
 type Detach struct{ Node int }
 
-func (a Detach) apply(e *Engine) { e.c.Net.Detach(e.addr(a.Node)); e.fault(a.Node) }
-func (a Detach) String() string  { return fmt.Sprintf("detach node=%d", a.Node) }
+func (a Detach) apply(e *Engine) {
+	e.fault(fmt.Sprintf("detach:%d", a.Node), a.String(), a.Node)
+	e.c.Net.Detach(e.addr(a.Node))
+}
+func (a Detach) String() string { return fmt.Sprintf("detach node=%d", a.Node) }
 
 // Rejoin reverses a Detach.
 type Rejoin struct{ Node int }
 
-func (a Rejoin) apply(e *Engine) { e.c.Net.Rejoin(e.addr(a.Node)) }
-func (a Rejoin) String() string  { return fmt.Sprintf("rejoin node=%d", a.Node) }
+func (a Rejoin) apply(e *Engine) {
+	e.c.Net.Rejoin(e.addr(a.Node))
+	e.clearFault(fmt.Sprintf("detach:%d", a.Node))
+}
+func (a Rejoin) String() string { return fmt.Sprintf("rejoin node=%d", a.Node) }
 
 // Signal triggers an application-level SignalFailure for group Group
 // (index into Script.Groups) at node Node - the paper's fail-on-send.
 type Signal struct{ Node, Group int }
 
+// The fault is recorded before SignalFailure runs: the signalling
+// node's own handler fires synchronously inside it and must attribute
+// to this signal, not to whatever fault preceded it.
 func (a Signal) apply(e *Engine) {
+	e.groupFault(a.Group, a.String(), a.Node)
 	e.c.Nodes[a.Node].Fuse.SignalFailure(e.tracks[a.Group].id)
-	e.groupFault(a.Group, a.Node)
 }
 func (a Signal) String() string { return fmt.Sprintf("signal group=%d node=%d", a.Group, a.Node) }
 
@@ -237,12 +267,13 @@ func (e *Engine) churnFlip(p *churnProc, node, bootstrap int, mean time.Duration
 			return
 		}
 		if e.c.Crashed(node) {
+			e.clearFault(nodeKey(node))
 			e.inc[node]++
 			e.c.Restart(node, e.c.Nodes[bootstrap].Ref())
 			e.tracef("churn restart node=%d", node)
 		} else {
+			e.fault(nodeKey(node), fmt.Sprintf("churn crash node=%d", node), node)
 			e.c.Crash(node)
-			e.fault(node)
 			e.tracef("churn crash node=%d", node)
 		}
 		e.churnFlip(p, node, bootstrap, mean)
@@ -250,6 +281,18 @@ func (e *Engine) churnFlip(p *churnProc, node, bootstrap int, mean time.Duration
 }
 
 // --- helpers ---
+
+// nodeKey identifies a node-down fault (crash or stop); restartNode and
+// churn restarts clear it.
+func nodeKey(n int) string { return fmt.Sprintf("crash:%d", n) }
+
+// pairKey identifies a link fault on an unordered node pair.
+func pairKey(kind string, a, b int) string {
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%s:%d-%d", kind, a, b)
+}
 
 func (e *Engine) addr(i int) transport.Addr { return e.c.Nodes[i].Addr }
 

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusSeeds is the checked-in seed corpus for FuzzScheduleInvariants
+// (testdata/fuzz/FuzzScheduleInvariants, regenerated with
+// GEN_FUZZ_CORPUS=1): a spread of generator seeds whose scripts between
+// them cover every action kind. Per-push CI runs exactly these; the
+// nightly fuzz job explores beyond them.
+var corpusSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+
+// FuzzScheduleInvariants is the property-based test of the whole
+// protocol: any seed becomes a well-formed random failure schedule, and
+// the schedule must uphold the paper's guarantees - exactly-once
+// delivery, no lost notifications, group-wide consistency - under the
+// invariant harness. A violation writes the script as JSON (to
+// $SCENARIO_FUZZ_DIR when set, so CI can upload it) and the script
+// replays byte-identically via `fusesim -scenario <file>`.
+func FuzzScheduleInvariants(f *testing.F) {
+	for _, seed := range corpusSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runGenerated(t, seed)
+	})
+}
+
+// runGenerated executes one generated schedule end to end through the
+// same path fusesim uses for .json files: generate, marshal, load,
+// build, run, audit.
+func runGenerated(t *testing.T, seed int64) {
+	sf := GenerateScript(seed, GenConfig{})
+	if err := sf.Validate(); err != nil {
+		t.Fatalf("generator emitted an invalid script for seed %d: %v", seed, err)
+	}
+	data, err := sf.Marshal()
+	if err != nil {
+		t.Fatalf("seed %d: marshal: %v", seed, err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatalf("seed %d: generated script does not load back: %v\n%s", seed, err, data)
+	}
+	c, s, err := loaded.Build(Params{})
+	if err != nil {
+		t.Fatalf("seed %d: build: %v", seed, err)
+	}
+	rep, err := Run(c, s)
+	if err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	if !rep.OK() {
+		path := writeCounterexample(t, seed, data)
+		t.Fatalf("seed %d violated protocol invariants:\n%sreplay with: go run ./cmd/fusesim -scenario %s\nscript:\n%s",
+			seed, rep.Stats(), path, data)
+	}
+}
+
+// writeCounterexample saves a failing script where CI (or a human) can
+// pick it up: $SCENARIO_FUZZ_DIR when set, the test temp dir otherwise.
+func writeCounterexample(t *testing.T, seed int64, data []byte) string {
+	dir := os.Getenv("SCENARIO_FUZZ_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("counterexample dir: %v", err)
+		dir = t.TempDir()
+	}
+	path := filepath.Join(dir, fmt.Sprintf("counterexample-seed-%d.json", seed))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("writing counterexample: %v", err)
+	}
+	return path
+}
+
+// TestGeneratedScriptsReplayIdentically pins the counterexample
+// workflow: a generated script, saved and loaded, replays to a
+// byte-identical trace - so a fuzz finding is exactly reproducible from
+// its JSON artifact alone.
+func TestGeneratedScriptsReplayIdentically(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		sf := GenerateScript(seed, GenConfig{})
+		data, err := sf.Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		var traces [2]string
+		for i := range traces {
+			loaded, err := Load(data)
+			if err != nil {
+				t.Fatalf("seed %d: load: %v", seed, err)
+			}
+			c, s, err := loaded.Build(Params{})
+			if err != nil {
+				t.Fatalf("seed %d: build: %v", seed, err)
+			}
+			rep, err := Run(c, s)
+			if err != nil {
+				t.Fatalf("seed %d: run: %v", seed, err)
+			}
+			traces[i] = rep.Trace
+		}
+		if traces[0] != traces[1] {
+			t.Errorf("seed %d: replay from the same JSON diverged", seed)
+		}
+	}
+}
+
+// TestGeneratorIsPure pins that GenerateScript depends only on its seed:
+// two calls must emit byte-identical JSON (the fuzz corpus and the
+// replay workflow both rely on this).
+func TestGeneratorIsPure(t *testing.T) {
+	for _, seed := range corpusSeeds {
+		a, err := GenerateScript(seed, GenConfig{}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateScript(seed, GenConfig{}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+}
+
+// TestGenerateScheduleFuzzCorpus regenerates the checked-in seed corpus
+// for FuzzScheduleInvariants. It is a no-op unless GEN_FUZZ_CORPUS=1:
+//
+//	GEN_FUZZ_CORPUS=1 go test ./internal/scenario -run TestGenerateScheduleFuzzCorpus
+func TestGenerateScheduleFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzScheduleInvariants")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range corpusSeeds {
+		content := fmt.Sprintf("go test fuzz v1\nint64(%d)\n", seed)
+		name := fmt.Sprintf("seed-%d", seed)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

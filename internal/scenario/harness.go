@@ -18,6 +18,7 @@ type notice struct {
 	node, inc int
 	at        time.Duration
 	reason    core.Reason
+	fault     int // seq of the fault this notification is attributed to (0: none)
 }
 
 // track is the harness record for one group.
@@ -27,6 +28,7 @@ type track struct {
 	attached map[int]int // node -> incarnation the handler is registered on
 	counts   map[incKey]int
 	notices  []notice
+	member   map[int]bool // the group's node set, for fault attribution
 }
 
 // nodes returns the group's node indices, root first.
@@ -46,10 +48,16 @@ type Report struct {
 	Duplicates int // invocations beyond the first for one (node, incarnation)
 	Missed     int // eligible members of failed groups never notified
 
-	// MaxLatency is the widest observed span from the fault that felled
-	// a group (the latest scheduled fault at or before its first notice)
-	// to that group's last delivered notification.
+	// MaxLatency is the widest observed span from a fault to the last
+	// notification attributed to it within one group.
 	MaxLatency time.Duration
+
+	// Faults is the full fault schedule in seq order, with per-fault
+	// attribution: how many notifications each fault caused and the span
+	// from the fault to the last of them. Overlapping fault trains (a
+	// loss ramp during churn) each keep their own latency instead of
+	// sharing "the latest fault before the first notice".
+	Faults []Fault
 
 	// Violations lists every invariant breach; empty means the run
 	// upheld exactly-once delivery, no lost notifications, consistency,
@@ -61,8 +69,36 @@ type Report struct {
 	Trace string
 }
 
+// Fault is one entry of the report's fault schedule.
+type Fault struct {
+	Seq  int           // 1-based position in the schedule
+	At   time.Duration // timeline-relative start
+	Desc string        // the action that started the fault
+
+	// Notices counts the notifications attributed to this fault;
+	// Latency is the span from the fault to the last of them (zero when
+	// the fault caused none - it was masked, healed in time, or felled
+	// nothing).
+	Notices int
+	Latency time.Duration
+}
+
 // OK reports whether the run upheld every invariant.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// FaultTable renders the per-fault attribution (faults that caused at
+// least one notification) in a stable format.
+func (r *Report) FaultTable() string {
+	var b strings.Builder
+	for _, f := range r.Faults {
+		if f.Notices == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "fault #%d t=+%09.3fs %-40s notices=%d latency=%s\n",
+			f.Seq, f.At.Seconds(), f.Desc, f.Notices, f.Latency)
+	}
+	return b.String()
+}
 
 // Stats renders the report's statistics (without the trace) in a stable
 // format; determinism tests compare it across runs, experiments print it.
@@ -148,7 +184,7 @@ func (e *Engine) check() *Report {
 			if expectSurvive[gi] {
 				r.violationf("group %d failed but the script expected it to survive", gi)
 			}
-			if lat, ok := e.groupLatency(gi, tr); ok {
+			if lat, ok := e.groupLatency(tr); ok {
 				if lat > r.MaxLatency {
 					r.MaxLatency = lat
 				}
@@ -163,58 +199,57 @@ func (e *Engine) check() *Report {
 			}
 		}
 	}
+	r.Faults = e.faultSchedule()
 	r.Trace = e.trace.String()
 	return r
 }
 
-// groupLatency attributes a failed group's notifications to a cause
-// fault and returns the span from it to the last notice. Preference
-// order: the latest fault at or before the first notice that names this
-// group (Signal) or touches one of its nodes; failing that, the latest
-// fault of any kind (a delegate churn flip can fell a group without
-// touching its members); failing that, the first notice itself.
-func (e *Engine) groupLatency(gi int, tr *track) (time.Duration, bool) {
+// faultSchedule summarizes every recorded fault with its attributed
+// notifications: Notices counts them across all groups, Latency is the
+// span from the fault to the last one.
+func (e *Engine) faultSchedule() []Fault {
+	out := make([]Fault, len(e.faults))
+	for i, f := range e.faults {
+		out[i] = Fault{Seq: f.seq, At: f.at, Desc: f.desc}
+	}
+	for _, tr := range e.tracks {
+		for _, n := range tr.notices {
+			if n.fault == 0 {
+				continue
+			}
+			f := &out[n.fault-1]
+			f.Notices++
+			if d := n.at - f.At; d > f.Latency {
+				f.Latency = d
+			}
+		}
+	}
+	return out
+}
+
+// groupLatency returns the group's detection latency: the widest span
+// from a notification's attributed fault (recorded at delivery by
+// Engine.attribute) to the notification itself. A notification with no
+// attributable fault falls back to the group's first notice.
+func (e *Engine) groupLatency(tr *track) (time.Duration, bool) {
 	if len(tr.notices) == 0 {
 		return 0, false
 	}
-	first, last := tr.notices[0].at, tr.notices[0].at
+	first := tr.notices[0].at
 	for _, n := range tr.notices[1:] {
 		if n.at < first {
 			first = n.at
 		}
-		if n.at > last {
-			last = n.at
+	}
+	var lat time.Duration
+	for _, n := range tr.notices {
+		cause := first
+		if n.fault > 0 {
+			cause = e.faults[n.fault-1].at
+		}
+		if d := n.at - cause; d > lat {
+			lat = d
 		}
 	}
-	member := make(map[int]bool, 4)
-	for _, n := range tr.nodes() {
-		member[n] = true
-	}
-	ours, any := time.Duration(-1), time.Duration(-1)
-	for _, f := range e.faults {
-		if f.at > first {
-			continue
-		}
-		if f.at > any {
-			any = f.at
-		}
-		touches := f.group == gi
-		for _, n := range f.nodes {
-			if member[n] {
-				touches = true
-				break
-			}
-		}
-		if touches && f.at > ours {
-			ours = f.at
-		}
-	}
-	cause := ours
-	if cause < 0 {
-		cause = any
-	}
-	if cause < 0 {
-		cause = first
-	}
-	return last - cause, true
+	return lat, true
 }

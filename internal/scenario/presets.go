@@ -51,6 +51,18 @@ var minNodes = map[string]int{
 	"restart":        21,
 }
 
+// descriptions summarizes each preset in one line (fusesim
+// -list-scenarios); keep in step with the presets map.
+var descriptions = map[string]string{
+	"churn":          "§7.4: groups pinned to stable nodes ride out Poisson churn, then one member of each crashes",
+	"intransitive":   "§3.4: two members lose only their mutual connectivity; the application signals fail-on-send",
+	"partition-heal": "§3: a partition with a straddling group and a contained group, healed selectively",
+	"restart":        "§3.6: a brief crash masked by stable storage vs. the same crash without it",
+}
+
+// Describe returns the one-line summary of a preset ("" if unknown).
+func Describe(name string) string { return descriptions[name] }
+
 // Names lists the available presets, sorted.
 func Names() []string {
 	out := make([]string, 0, len(presets))

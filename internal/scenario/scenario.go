@@ -92,10 +92,11 @@ type Engine struct {
 	t0     time.Duration // sim elapsed when the timeline starts
 	trace  strings.Builder
 	tracks []*track
-	inc    []int        // per-node incarnation counter
-	faults []faultRec   // scheduled fault events, for latency attribution
-	churns []*churnProc // every started churn process; ChurnStop halts them all
-	ramps  []*rampProc  // every started loss ramp; ClearLoss/HealAll cancel them
+	inc    []int          // per-node incarnation counter
+	faults []faultRec     // every recorded fault, in schedule order (seq = index+1)
+	active map[string]int // fault key -> index of the ongoing fault on that entity
+	churns []*churnProc   // every started churn process; ChurnStop halts them all
+	ramps  []*rampProc    // every started loss ramp; ClearLoss/HealAll cancel them
 
 	// errs collects engine-level failures during the run (e.g. a broken
 	// Recover); check reports them as violations so a run with a failed
@@ -108,7 +109,7 @@ type Engine struct {
 // invariants. The cluster must be freshly assembled and is consumed by
 // the run.
 func Run(c *cluster.Cluster, s Script) (*Report, error) {
-	e := &Engine{c: c, script: s, rng: c.Sim.Rand(), inc: make([]int, len(c.Nodes))}
+	e := &Engine{c: c, script: s, rng: c.Sim.Rand(), inc: make([]int, len(c.Nodes)), active: make(map[string]int)}
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
@@ -138,7 +139,10 @@ func (e *Engine) setup() error {
 		if err != nil {
 			return fmt.Errorf("scenario %s: create group %d: %w", e.script.Name, gi, err)
 		}
-		tr := &track{spec: g, id: id, attached: make(map[int]int), counts: make(map[incKey]int)}
+		tr := &track{spec: g, id: id, attached: make(map[int]int), counts: make(map[incKey]int), member: make(map[int]bool)}
+		for _, n := range tr.nodes() {
+			tr.member[n] = true
+		}
 		e.tracks = append(e.tracks, tr)
 		fmt.Fprintf(&e.trace, "setup group=%d id=%s root=%d members=%v stores=%v\n",
 			gi, id, g.Root, g.Members, g.Stores)
@@ -156,24 +160,86 @@ func (e *Engine) tracef(format string, args ...any) {
 	fmt.Fprintf(&e.trace, "t=+%09.3fs  %s\n", e.now().Seconds(), fmt.Sprintf(format, args...))
 }
 
-// faultRec is one scheduled fault, for latency attribution: the nodes
-// it touched directly and, when the action names one (Signal), the
-// group index (-1 otherwise).
+// faultRec is one recorded fault, for per-fault latency attribution. A
+// fault is an interval on one faulting entity - a down node, a lossy or
+// blocked link, a partition cut - identified by key: repeated
+// degradations of an entity whose fault is still ongoing (a loss ramp
+// stepping past the breaking threshold again, a churn crash of an
+// already-counted node) extend the existing record instead of starting a
+// new one, so attribution lands on the step that actually broke the
+// entity rather than the latest event before a notification. A clearing
+// action (restart, heal, unblock, loss dropping below the threshold)
+// ends the interval; a later fault on the same key starts a fresh record
+// with its own seq.
 type faultRec struct {
-	at    time.Duration
-	nodes []int
-	group int
+	seq     int // 1-based position in the fault schedule
+	at      time.Duration
+	key     string // faulting entity ("crash:3", "loss:2-9", ...)
+	desc    string // the action that started the fault, for reports
+	nodes   []int  // nodes the fault touches directly
+	group   int    // group index when the action names one (Signal), -1 otherwise
+	cleared bool
 }
 
-// fault records the present instant as a fault touching the given
-// nodes.
-func (e *Engine) fault(nodes ...int) {
-	e.faults = append(e.faults, faultRec{at: e.now(), nodes: nodes, group: -1})
+// fault records the present instant as the start of a fault on entity
+// key, unless a fault on that entity is already ongoing.
+func (e *Engine) fault(key, desc string, nodes ...int) {
+	if _, ongoing := e.active[key]; ongoing {
+		return
+	}
+	e.active[key] = len(e.faults)
+	e.faults = append(e.faults, faultRec{
+		seq: len(e.faults) + 1, at: e.now(), key: key, desc: desc, nodes: nodes, group: -1,
+	})
 }
 
-// groupFault records a fault explicitly tied to one group (Signal).
-func (e *Engine) groupFault(group int, nodes ...int) {
-	e.faults = append(e.faults, faultRec{at: e.now(), nodes: nodes, group: group})
+// clearFault ends the ongoing fault on entity key, if any. The record
+// stays in the schedule (a cleared fault can still be the cause of a
+// notification delivered after the clear); only the dedup ends, so a
+// later fault on the same entity gets its own record.
+func (e *Engine) clearFault(key string) {
+	if i, ok := e.active[key]; ok {
+		e.faults[i].cleared = true
+		delete(e.active, key)
+	}
+}
+
+// groupFault records a one-shot fault explicitly tied to one group
+// (Signal). Signals are instantaneous, so they never dedup.
+func (e *Engine) groupFault(group int, desc string, nodes ...int) {
+	e.faults = append(e.faults, faultRec{
+		seq: len(e.faults) + 1, at: e.now(), key: fmt.Sprintf("signal:%d", group),
+		desc: desc, nodes: nodes, group: group,
+	})
+}
+
+// attribute picks the fault that caused a notification for group gi
+// delivered at the present instant: the latest-started fault that names
+// the group or touches one of its nodes; failing that, the latest-
+// started fault of any kind (a delegate fault can fell a group without
+// touching its members). Returns the fault's seq, or 0 when no fault has
+// been recorded yet (e.g. a failed creation).
+func (e *Engine) attribute(gi int) int {
+	tr := e.tracks[gi]
+	ours, any := 0, 0
+	for i := range e.faults {
+		f := &e.faults[i]
+		any = f.seq
+		if f.group == gi {
+			ours = f.seq
+			continue
+		}
+		for _, n := range f.nodes {
+			if tr.member[n] {
+				ours = f.seq
+				break
+			}
+		}
+	}
+	if ours == 0 {
+		return any
+	}
+	return ours
 }
 
 // attach registers a failure handler for group gi on node's current
@@ -183,9 +249,10 @@ func (e *Engine) attach(gi, node int) {
 	inc := e.inc[node]
 	tr.attached[node] = inc
 	e.c.Nodes[node].Fuse.RegisterFailureHandler(func(n core.Notice) {
+		fs := e.attribute(gi)
 		tr.counts[incKey{node, inc}]++
-		tr.notices = append(tr.notices, notice{node: node, inc: inc, at: e.now(), reason: n.Reason})
-		e.tracef("notify group=%d node=%d inc=%d reason=%s", gi, node, inc, n.Reason)
+		tr.notices = append(tr.notices, notice{node: node, inc: inc, at: e.now(), reason: n.Reason, fault: fs})
+		e.tracef("notify group=%d node=%d inc=%d reason=%s fault=%d", gi, node, inc, n.Reason, fs)
 	}, tr.id)
 }
 
@@ -206,8 +273,10 @@ func (e *Engine) reattachRecovered(node int) {
 }
 
 // restartNode revives node (bumping its incarnation) with or without the
-// §3.6 stable-storage recovery path.
+// §3.6 stable-storage recovery path. The node's down-fault ends here:
+// a later crash of the same node is a new fault with its own seq.
 func (e *Engine) restartNode(node, bootstrap int, recover bool) {
+	e.clearFault(fmt.Sprintf("crash:%d", node))
 	e.inc[node]++
 	boot := e.c.Nodes[bootstrap].Ref()
 	if recover {

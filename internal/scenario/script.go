@@ -1,0 +1,530 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"fuse/internal/cluster"
+)
+
+// Scenario scripts as data: ScriptFile is the JSON form of a complete
+// scenario - cluster sizing (nodes, seed) plus the Script itself - so
+// failure drills can be written, versioned, and replayed without
+// recompiling, and fuzz-found counterexamples are plain files anyone can
+// rerun with `fusesim -scenario <file.json>`. Every Action round-trips:
+// ToFile(Load(Marshal(x))) preserves the schedule exactly, and because
+// the engine is deterministic, the loaded copy replays to a
+// byte-identical trace for the same seed.
+//
+// The format (README.md documents it with a full example):
+//
+//	{
+//	  "name": "my-drill",
+//	  "nodes": 32,
+//	  "seed": 7,
+//	  "groups": [{"root": 0, "members": [10, 20], "stores": [10]}],
+//	  "events": [
+//	    {"at": "2m0s", "do": "crash", "node": 10},
+//	    {"at": "2m10s", "do": "restart", "node": 10, "bootstrap": 0, "recover": true}
+//	  ],
+//	  "duration": "30m0s",
+//	  "expect_survive": [0],
+//	  "latency_bound": "10m0s"
+//	}
+//
+// Durations are Go duration strings. Validation is strict and names the
+// offending field ("events[3].node: 40 out of range [0, 32)"): a typo'd
+// schedule must fail loudly, not silently drill the wrong scenario.
+
+// ScriptFile is the on-disk form of a scenario.
+type ScriptFile struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Seed  int64  `json:"seed"`
+
+	Groups []GroupJSON `json:"groups"`
+	Events []EventJSON `json:"events"`
+
+	Duration      Duration `json:"duration"`
+	ExpectFail    []int    `json:"expect_fail,omitempty"`
+	ExpectSurvive []int    `json:"expect_survive,omitempty"`
+	LatencyBound  Duration `json:"latency_bound,omitempty"`
+}
+
+// GroupJSON mirrors GroupSpec.
+type GroupJSON struct {
+	Root    int   `json:"root"`
+	Members []int `json:"members"`
+	Stores  []int `json:"stores,omitempty"`
+}
+
+// EventJSON is one timeline entry: "at" plus a "do" kind selecting which
+// of the remaining fields apply. Index fields are pointers so that an
+// omitted field is distinguishable from node 0.
+type EventJSON struct {
+	At Duration `json:"at"`
+	Do string   `json:"do"`
+
+	Node      *int     `json:"node,omitempty"`      // crash, stop, restart, detach, rejoin, signal
+	Bootstrap *int     `json:"bootstrap,omitempty"` // restart, churn-start
+	Recover   bool     `json:"recover,omitempty"`   // restart
+	A         *int     `json:"a,omitempty"`         // block, unblock, loss, clear-loss, loss-ramp
+	B         *int     `json:"b,omitempty"`
+	Loss      *float64 `json:"loss,omitempty"` // loss
+	From      *float64 `json:"from,omitempty"` // loss-ramp
+	To        *float64 `json:"to,omitempty"`
+	Steps     int      `json:"steps,omitempty"`
+	Over      Duration `json:"over,omitempty"`
+	Sides     [][]int  `json:"sides,omitempty"`      // partition, heal
+	Group     *int     `json:"group,omitempty"`      // signal
+	First     *int     `json:"first,omitempty"`      // churn-start
+	Count     *int     `json:"count,omitempty"`      // churn-start
+	MeanDwell Duration `json:"mean_dwell,omitempty"` // churn-start
+}
+
+// Duration marshals as a Go duration string ("2m10s"); it round-trips
+// exactly because time.Duration.String output always reparses to the
+// same value.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"90s\" or \"10m\", got %s", data)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Load parses and validates a JSON scenario. Unknown fields are
+// rejected (a misspelled knob must not silently fall back to a default),
+// and every validation error names the field it is about.
+func Load(data []byte) (*ScriptFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sf ScriptFile
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("scenario script: %w", err)
+	}
+	if err := sf.Validate(); err != nil {
+		return nil, err
+	}
+	return &sf, nil
+}
+
+// Marshal renders the canonical JSON form (indented, trailing newline).
+// Marshal-Load-Marshal is byte-stable.
+func (sf *ScriptFile) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// validator accumulates field-naming errors.
+type validator struct{ errs []string }
+
+func (v *validator) errf(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Sprintf(format, args...))
+}
+
+func (v *validator) err() error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("scenario script: %s", strings.Join(v.errs, "; "))
+}
+
+// node checks a node index against the deployment size.
+func (v *validator) node(path string, n, nodes int) {
+	if n < 0 || n >= nodes {
+		v.errf("%s: %d out of range [0, %d)", path, n, nodes)
+	}
+}
+
+// req dereferences a required index field, reporting it when missing.
+func (v *validator) req(path string, p *int) (int, bool) {
+	if p == nil {
+		v.errf("%s: required field missing", path)
+		return 0, false
+	}
+	return *p, true
+}
+
+// reqNode combines req and node.
+func (v *validator) reqNode(path string, p *int, nodes int) (int, bool) {
+	n, ok := v.req(path, p)
+	if ok {
+		v.node(path, n, nodes)
+	}
+	return n, ok
+}
+
+func (v *validator) reqFloat(path string, p *float64) (float64, bool) {
+	if p == nil {
+		v.errf("%s: required field missing", path)
+		return 0, false
+	}
+	if *p < 0 || *p > 1 {
+		v.errf("%s: %g out of range [0, 1]", path, *p)
+	}
+	return *p, true
+}
+
+// Validate checks the whole file for structural and referential errors,
+// naming each offending field.
+func (sf *ScriptFile) Validate() error {
+	v := &validator{}
+	if sf.Nodes < 2 {
+		v.errf("nodes: %d, need at least 2", sf.Nodes)
+	}
+	if sf.Duration <= 0 {
+		v.errf("duration: must be positive")
+	}
+	if len(sf.Groups) == 0 {
+		v.errf("groups: at least one group required")
+	}
+	for gi, g := range sf.Groups {
+		path := fmt.Sprintf("groups[%d]", gi)
+		v.node(path+".root", g.Root, sf.Nodes)
+		if len(g.Members) == 0 {
+			v.errf("%s.members: at least one member required", path)
+		}
+		seen := map[int]bool{g.Root: true}
+		for mi, m := range g.Members {
+			v.node(fmt.Sprintf("%s.members[%d]", path, mi), m, sf.Nodes)
+			if seen[m] {
+				v.errf("%s.members[%d]: node %d listed twice in the group", path, mi, m)
+			}
+			seen[m] = true
+		}
+		for si, st := range g.Stores {
+			if st < 0 || st >= sf.Nodes || !seen[st] {
+				v.errf("%s.stores[%d]: node %d is not in the group", path, si, st)
+			}
+		}
+	}
+	sf.validateExpectations(v)
+	for ei := range sf.Events {
+		sf.Events[ei].validate(v, fmt.Sprintf("events[%d]", ei), sf)
+	}
+	return v.err()
+}
+
+func (sf *ScriptFile) validateExpectations(v *validator) {
+	mark := func(field string, idxs []int, other map[int]bool) map[int]bool {
+		seen := make(map[int]bool, len(idxs))
+		for i, gi := range idxs {
+			path := fmt.Sprintf("%s[%d]", field, i)
+			if gi < 0 || gi >= len(sf.Groups) {
+				v.errf("%s: group %d out of range [0, %d)", path, gi, len(sf.Groups))
+				continue
+			}
+			if seen[gi] {
+				v.errf("%s: group %d listed twice", path, gi)
+			}
+			if other[gi] {
+				v.errf("%s: group %d cannot both fail and survive", path, gi)
+			}
+			seen[gi] = true
+		}
+		return seen
+	}
+	failed := mark("expect_fail", sf.ExpectFail, nil)
+	mark("expect_survive", sf.ExpectSurvive, failed)
+}
+
+// validate checks one event's fields for its kind.
+func (ev *EventJSON) validate(v *validator, path string, sf *ScriptFile) {
+	if ev.At < 0 {
+		v.errf("%s.at: must not be negative", path)
+	}
+	if Duration(sf.Duration) < ev.At {
+		v.errf("%s.at: %s is past the script duration %s", path, time.Duration(ev.At), time.Duration(sf.Duration))
+	}
+	nodes := sf.Nodes
+	switch ev.Do {
+	case "crash", "stop", "detach", "rejoin":
+		v.reqNode(path+".node", ev.Node, nodes)
+	case "restart":
+		n, _ := v.reqNode(path+".node", ev.Node, nodes)
+		b, ok := v.reqNode(path+".bootstrap", ev.Bootstrap, nodes)
+		if ok && b == n {
+			v.errf("%s.bootstrap: a node cannot bootstrap through itself", path)
+		}
+		if ev.Recover {
+			stored := false
+			for _, g := range sf.Groups {
+				for _, st := range g.Stores {
+					if st == n {
+						stored = true
+					}
+				}
+			}
+			if !stored {
+				v.errf("%s.recover: node %d has no store (declare it in a group's stores)", path, n)
+			}
+		}
+	case "partition", "heal":
+		if len(ev.Sides) < 2 {
+			v.errf("%s.sides: need at least two sides", path)
+		}
+		seen := make(map[int]bool)
+		for si, side := range ev.Sides {
+			if len(side) == 0 {
+				v.errf("%s.sides[%d]: side is empty", path, si)
+			}
+			for ni, n := range side {
+				p := fmt.Sprintf("%s.sides[%d][%d]", path, si, ni)
+				v.node(p, n, nodes)
+				if seen[n] {
+					v.errf("%s: node %d appears on more than one side", p, n)
+				}
+				seen[n] = true
+			}
+		}
+	case "heal-all", "churn-stop":
+		// no operands
+	case "block", "unblock", "clear-loss":
+		ev.validatePair(v, path, nodes)
+	case "loss":
+		ev.validatePair(v, path, nodes)
+		v.reqFloat(path+".loss", ev.Loss)
+	case "loss-ramp":
+		ev.validatePair(v, path, nodes)
+		v.reqFloat(path+".from", ev.From)
+		v.reqFloat(path+".to", ev.To)
+		if ev.Steps < 0 {
+			v.errf("%s.steps: must not be negative", path)
+		}
+		if ev.Over <= 0 {
+			v.errf("%s.over: must be positive", path)
+		}
+	case "signal":
+		g, ok := v.req(path+".group", ev.Group)
+		if ok && (g < 0 || g >= len(sf.Groups)) {
+			v.errf("%s.group: %d out of range [0, %d)", path, g, len(sf.Groups))
+			ok = false
+		}
+		n, nok := v.reqNode(path+".node", ev.Node, nodes)
+		if ok && nok {
+			in := sf.Groups[g].Root == n
+			for _, m := range sf.Groups[g].Members {
+				if m == n {
+					in = true
+				}
+			}
+			if !in {
+				v.errf("%s.node: node %d is not in group %d", path, n, g)
+			}
+		}
+	case "churn-start":
+		first, fok := v.req(path+".first", ev.First)
+		count, cok := v.req(path+".count", ev.Count)
+		if fok && (first < 0 || first >= nodes) {
+			v.errf("%s.first: %d out of range [0, %d)", path, first, nodes)
+		}
+		if cok && count < 1 {
+			v.errf("%s.count: must be at least 1", path)
+		}
+		if fok && cok && first+count > nodes {
+			v.errf("%s.count: churn range [%d, %d) exceeds %d nodes", path, first, first+count, nodes)
+		}
+		if b, ok := v.reqNode(path+".bootstrap", ev.Bootstrap, nodes); ok && fok && cok && b >= first && b < first+count {
+			v.errf("%s.bootstrap: node %d is inside the churning range", path, b)
+		}
+		if ev.MeanDwell <= 0 {
+			v.errf("%s.mean_dwell: must be positive", path)
+		}
+	case "":
+		v.errf("%s.do: required field missing (one of %v)", path, actionKinds)
+	default:
+		v.errf("%s.do: unknown action %q (one of %v)", path, ev.Do, actionKinds)
+	}
+}
+
+func (ev *EventJSON) validatePair(v *validator, path string, nodes int) {
+	a, aok := v.reqNode(path+".a", ev.A, nodes)
+	b, bok := v.reqNode(path+".b", ev.B, nodes)
+	if aok && bok && a == b {
+		v.errf("%s.b: a and b must differ", path)
+	}
+}
+
+var actionKinds = []string{
+	"block", "churn-start", "churn-stop", "clear-loss", "crash", "detach",
+	"heal", "heal-all", "loss", "loss-ramp", "partition", "rejoin",
+	"restart", "signal", "stop", "unblock",
+}
+
+// Script converts the validated file to an engine Script.
+func (sf *ScriptFile) Script() Script {
+	s := Script{
+		Name:          sf.Name,
+		Duration:      time.Duration(sf.Duration),
+		ExpectFail:    sf.ExpectFail,
+		ExpectSurvive: sf.ExpectSurvive,
+		LatencyBound:  time.Duration(sf.LatencyBound),
+	}
+	for _, g := range sf.Groups {
+		s.Groups = append(s.Groups, GroupSpec{Root: g.Root, Members: g.Members, Stores: g.Stores})
+	}
+	for _, ev := range sf.Events {
+		s.Events = append(s.Events, Event{At: time.Duration(ev.At), Do: ev.action()})
+	}
+	return s
+}
+
+// action builds the Action for a validated event; it must only run after
+// Validate accepted the file.
+func (ev *EventJSON) action() Action {
+	deref := func(p *int) int {
+		if p == nil {
+			return 0
+		}
+		return *p
+	}
+	fl := func(p *float64) float64 {
+		if p == nil {
+			return 0
+		}
+		return *p
+	}
+	switch ev.Do {
+	case "crash":
+		return Crash{Node: deref(ev.Node)}
+	case "stop":
+		return Stop{Node: deref(ev.Node)}
+	case "restart":
+		return Restart{Node: deref(ev.Node), Bootstrap: deref(ev.Bootstrap), Recover: ev.Recover}
+	case "partition":
+		return Partition{Sides: ev.Sides}
+	case "heal":
+		return Heal{Sides: ev.Sides}
+	case "heal-all":
+		return HealAll{}
+	case "block":
+		return BlockPair{A: deref(ev.A), B: deref(ev.B)}
+	case "unblock":
+		return UnblockPair{A: deref(ev.A), B: deref(ev.B)}
+	case "loss":
+		return SetLoss{A: deref(ev.A), B: deref(ev.B), Loss: fl(ev.Loss)}
+	case "clear-loss":
+		return ClearLoss{A: deref(ev.A), B: deref(ev.B)}
+	case "loss-ramp":
+		return LossRamp{A: deref(ev.A), B: deref(ev.B), From: fl(ev.From), To: fl(ev.To), Steps: ev.Steps, Over: time.Duration(ev.Over)}
+	case "detach":
+		return Detach{Node: deref(ev.Node)}
+	case "rejoin":
+		return Rejoin{Node: deref(ev.Node)}
+	case "signal":
+		return Signal{Node: deref(ev.Node), Group: deref(ev.Group)}
+	case "churn-start":
+		return ChurnStart{First: deref(ev.First), Count: deref(ev.Count), MeanDwell: time.Duration(ev.MeanDwell), Bootstrap: deref(ev.Bootstrap)}
+	case "churn-stop":
+		return ChurnStop{}
+	}
+	panic(fmt.Sprintf("scenario: unvalidated event kind %q", ev.Do))
+}
+
+// Build constructs the cluster and Script for the file. Nonzero p.Seed
+// or p.Nodes override the file's own values (the file is revalidated
+// when the deployment shrinks, so scripts cannot index past the node
+// slice); the remaining Params fields are preset knobs with no meaning
+// here.
+func (sf *ScriptFile) Build(p Params) (*cluster.Cluster, Script, error) {
+	eff := *sf
+	if p.Seed != 0 {
+		eff.Seed = p.Seed
+	}
+	if p.Nodes != 0 {
+		eff.Nodes = p.Nodes
+		if err := eff.Validate(); err != nil {
+			return nil, Script{}, fmt.Errorf("with nodes=%d: %w", p.Nodes, err)
+		}
+	}
+	c := cluster.New(cluster.Options{N: eff.Nodes, Seed: eff.Seed})
+	return c, eff.Script(), nil
+}
+
+// ToFile converts a Script (plus the cluster sizing that accompanies it)
+// to its on-disk form. Every built-in preset and every generated script
+// converts losslessly; a hand-built Script using an Action type this
+// encoder does not know is an error.
+func ToFile(nodes int, seed int64, s Script) (*ScriptFile, error) {
+	sf := &ScriptFile{
+		Name:          s.Name,
+		Nodes:         nodes,
+		Seed:          seed,
+		Duration:      Duration(s.Duration),
+		ExpectFail:    s.ExpectFail,
+		ExpectSurvive: s.ExpectSurvive,
+		LatencyBound:  Duration(s.LatencyBound),
+	}
+	for _, g := range s.Groups {
+		sf.Groups = append(sf.Groups, GroupJSON{Root: g.Root, Members: g.Members, Stores: g.Stores})
+	}
+	for i, ev := range s.Events {
+		enc, err := encodeAction(ev.Do)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: events[%d]: %w", i, err)
+		}
+		enc.At = Duration(ev.At)
+		sf.Events = append(sf.Events, enc)
+	}
+	return sf, nil
+}
+
+func encodeAction(a Action) (EventJSON, error) {
+	ip := func(v int) *int { return &v }
+	fp := func(v float64) *float64 { return &v }
+	switch a := a.(type) {
+	case Crash:
+		return EventJSON{Do: "crash", Node: ip(a.Node)}, nil
+	case Stop:
+		return EventJSON{Do: "stop", Node: ip(a.Node)}, nil
+	case Restart:
+		return EventJSON{Do: "restart", Node: ip(a.Node), Bootstrap: ip(a.Bootstrap), Recover: a.Recover}, nil
+	case Partition:
+		return EventJSON{Do: "partition", Sides: a.Sides}, nil
+	case Heal:
+		return EventJSON{Do: "heal", Sides: a.Sides}, nil
+	case HealAll:
+		return EventJSON{Do: "heal-all"}, nil
+	case BlockPair:
+		return EventJSON{Do: "block", A: ip(a.A), B: ip(a.B)}, nil
+	case UnblockPair:
+		return EventJSON{Do: "unblock", A: ip(a.A), B: ip(a.B)}, nil
+	case SetLoss:
+		return EventJSON{Do: "loss", A: ip(a.A), B: ip(a.B), Loss: fp(a.Loss)}, nil
+	case ClearLoss:
+		return EventJSON{Do: "clear-loss", A: ip(a.A), B: ip(a.B)}, nil
+	case LossRamp:
+		return EventJSON{Do: "loss-ramp", A: ip(a.A), B: ip(a.B), From: fp(a.From), To: fp(a.To), Steps: a.Steps, Over: Duration(a.Over)}, nil
+	case Detach:
+		return EventJSON{Do: "detach", Node: ip(a.Node)}, nil
+	case Rejoin:
+		return EventJSON{Do: "rejoin", Node: ip(a.Node)}, nil
+	case Signal:
+		return EventJSON{Do: "signal", Node: ip(a.Node), Group: ip(a.Group)}, nil
+	case ChurnStart:
+		return EventJSON{Do: "churn-start", First: ip(a.First), Count: ip(a.Count), MeanDwell: Duration(a.MeanDwell), Bootstrap: ip(a.Bootstrap)}, nil
+	case ChurnStop:
+		return EventJSON{Do: "churn-stop"}, nil
+	}
+	return EventJSON{}, fmt.Errorf("action %T has no JSON encoding", a)
+}

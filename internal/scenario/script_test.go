@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetRoundTrip pins the acceptance criterion for scripts-as-data:
+// every built-in preset, saved to JSON and loaded back, replays to a
+// byte-identical trace for the same seed. Anything the JSON layer drops
+// or renames shows up as a trace diff.
+func TestPresetRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := Params{Seed: 11, Short: true}
+			c, s, err := BuildPreset(name, p)
+			if err != nil {
+				t.Fatalf("BuildPreset: %v", err)
+			}
+			nodes := len(c.Nodes)
+			want, err := Run(c, s)
+			if err != nil {
+				t.Fatalf("direct run: %v", err)
+			}
+
+			sf, err := ToFile(nodes, p.Seed, s)
+			if err != nil {
+				t.Fatalf("ToFile: %v", err)
+			}
+			data, err := sf.Marshal()
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			loaded, err := Load(data)
+			if err != nil {
+				t.Fatalf("Load: %v\nscript:\n%s", err, data)
+			}
+			c2, s2, err := loaded.Build(Params{})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			got, err := Run(c2, s2)
+			if err != nil {
+				t.Fatalf("replayed run: %v", err)
+			}
+
+			if got.Trace != want.Trace {
+				t.Errorf("trace diverged after JSON round-trip\nscript:\n%s", data)
+			}
+			if got.Stats() != want.Stats() {
+				t.Errorf("stats diverged after JSON round-trip:\ndirect:   %sreplayed: %s", want.Stats(), got.Stats())
+			}
+
+			// The canonical form is byte-stable: marshal(load(marshal(x)))
+			// == marshal(x), so counterexample files diff cleanly.
+			data2, err := loaded.Marshal()
+			if err != nil {
+				t.Fatalf("re-Marshal: %v", err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("marshal not byte-stable:\nfirst:\n%s\nsecond:\n%s", data, data2)
+			}
+		})
+	}
+}
+
+// TestScriptValidationNamesFields checks that every class of validation
+// error names the offending field, so a typo'd schedule points at itself.
+func TestScriptValidationNamesFields(t *testing.T) {
+	base := func() *ScriptFile {
+		return &ScriptFile{
+			Name:     "v",
+			Nodes:    16,
+			Seed:     1,
+			Groups:   []GroupJSON{{Root: 0, Members: []int{1, 2}}},
+			Duration: Duration(minute(10)),
+		}
+	}
+	ip := func(v int) *int { return &v }
+	fp := func(v float64) *float64 { return &v }
+
+	cases := []struct {
+		name string
+		mut  func(sf *ScriptFile)
+		want string
+	}{
+		{"nodes too small", func(sf *ScriptFile) { sf.Nodes = 1 }, "nodes: 1"},
+		{"no duration", func(sf *ScriptFile) { sf.Duration = 0 }, "duration: must be positive"},
+		{"no groups", func(sf *ScriptFile) { sf.Groups = nil }, "groups: at least one group"},
+		{"root out of range", func(sf *ScriptFile) { sf.Groups[0].Root = 40 }, "groups[0].root: 40 out of range [0, 16)"},
+		{"member out of range", func(sf *ScriptFile) { sf.Groups[0].Members = []int{1, 99} }, "groups[0].members[1]: 99 out of range"},
+		{"duplicate member", func(sf *ScriptFile) { sf.Groups[0].Members = []int{1, 1} }, "groups[0].members[1]: node 1 listed twice"},
+		{"store outside group", func(sf *ScriptFile) { sf.Groups[0].Stores = []int{5} }, "groups[0].stores[0]: node 5 is not in the group"},
+		{"expect_fail out of range", func(sf *ScriptFile) { sf.ExpectFail = []int{3} }, "expect_fail[0]: group 3 out of range"},
+		{"conflicting expectations", func(sf *ScriptFile) { sf.ExpectFail = []int{0}; sf.ExpectSurvive = []int{0} }, "expect_survive[0]: group 0 cannot both fail and survive"},
+		{"missing do", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{}}
+		}, "events[0].do: required field missing"},
+		{"unknown do", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "explode"}}
+		}, `events[0].do: unknown action "explode"`},
+		{"crash without node", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "crash"}}
+		}, "events[0].node: required field missing"},
+		{"crash node out of range", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "crash", Node: ip(40)}}
+		}, "events[0].node: 40 out of range [0, 16)"},
+		{"event past duration", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{At: Duration(minute(99)), Do: "crash", Node: ip(1)}}
+		}, "events[0].at: 1h39m0s is past the script duration"},
+		{"restart bootstrapping itself", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "restart", Node: ip(1), Bootstrap: ip(1)}}
+		}, "events[0].bootstrap: a node cannot bootstrap through itself"},
+		{"recover without store", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "restart", Node: ip(1), Bootstrap: ip(0), Recover: true}}
+		}, "events[0].recover: node 1 has no store"},
+		{"partition one side", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "partition", Sides: [][]int{{0, 1}}}}
+		}, "events[0].sides: need at least two sides"},
+		{"partition overlapping sides", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "partition", Sides: [][]int{{0, 1}, {1, 2}}}}
+		}, "events[0].sides[1][0]: node 1 appears on more than one side"},
+		{"block same node", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "block", A: ip(3), B: ip(3)}}
+		}, "events[0].b: a and b must differ"},
+		{"loss out of range", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "loss", A: ip(3), B: ip(4), Loss: fp(1.5)}}
+		}, "events[0].loss: 1.5 out of range [0, 1]"},
+		{"ramp without over", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "loss-ramp", A: ip(3), B: ip(4), From: fp(0), To: fp(1)}}
+		}, "events[0].over: must be positive"},
+		{"signal outside group", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "signal", Node: ip(9), Group: ip(0)}}
+		}, "events[0].node: node 9 is not in group 0"},
+		{"signal unknown group", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "signal", Node: ip(1), Group: ip(7)}}
+		}, "events[0].group: 7 out of range [0, 1)"},
+		{"churn range overflow", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "churn-start", First: ip(10), Count: ip(10), Bootstrap: ip(0), MeanDwell: Duration(minute(2))}}
+		}, "events[0].count: churn range [10, 20) exceeds 16 nodes"},
+		{"churn bootstrap inside range", func(sf *ScriptFile) {
+			sf.Events = []EventJSON{{Do: "churn-start", First: ip(10), Count: ip(4), Bootstrap: ip(12), MeanDwell: Duration(minute(2))}}
+		}, "events[0].bootstrap: node 12 is inside the churning range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sf := base()
+			tc.mut(sf)
+			err := sf.Validate()
+			if err == nil {
+				t.Fatalf("validation accepted a broken script")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error does not name the field:\n  got:  %v\n  want substring: %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadRejectsUnknownFields: a misspelled knob must fail loudly, not
+// silently fall back to a default and drill the wrong scenario.
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load([]byte(`{
+  "name": "typo",
+  "nodes": 16,
+  "groups": [{"root": 0, "members": [1]}],
+  "events": [{"at": "1m0s", "do": "crash", "nodeid": 1}],
+  "duration": "10m0s"
+}`))
+	if err == nil || !strings.Contains(err.Error(), "nodeid") {
+		t.Fatalf("want unknown-field error mentioning nodeid, got %v", err)
+	}
+}
+
+// TestLoadRejectsBareDurations: durations are strings, and the error for
+// a bare number explains the expected form.
+func TestLoadRejectsBareDurations(t *testing.T) {
+	_, err := Load([]byte(`{"name": "d", "nodes": 4, "groups": [{"root": 0, "members": [1]}], "duration": 600}`))
+	if err == nil || !strings.Contains(err.Error(), `duration must be a string like "90s"`) {
+		t.Fatalf("want duration-format error, got %v", err)
+	}
+}
+
+// TestBuildOverrides: Params can override the file's seed and node
+// count, and a shrink that breaks the script's indices is re-validated.
+func TestBuildOverrides(t *testing.T) {
+	sf, err := Load([]byte(`{
+  "name": "override",
+  "nodes": 16,
+  "seed": 3,
+  "groups": [{"root": 0, "members": [1, 12]}],
+  "events": [{"at": "1m0s", "do": "crash", "node": 12}],
+  "duration": "10m0s",
+  "expect_fail": [0]
+}`))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	c, _, err := sf.Build(Params{Nodes: 24, Seed: 9})
+	if err != nil {
+		t.Fatalf("Build with overrides: %v", err)
+	}
+	if len(c.Nodes) != 24 {
+		t.Errorf("nodes override ignored: got %d", len(c.Nodes))
+	}
+	if _, _, err := sf.Build(Params{Nodes: 8}); err == nil || !strings.Contains(err.Error(), "12 out of range [0, 8)") {
+		t.Errorf("shrinking below the script's indices must fail validation, got %v", err)
+	}
+}
+
+func minute(n int) int64 { return int64(n) * 60e9 }

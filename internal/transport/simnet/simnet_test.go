@@ -385,6 +385,113 @@ func TestHealPartitionLeavesLossRampIntact(t *testing.T) {
 	}
 }
 
+// TestInterleavedRuleLifecycleKeepsTableExact walks a rule table through
+// the kind of interleaved set/clear/heal sequence the scenario engine
+// composes (loss ramp, partition, selective unblock, heal, ramp clear)
+// and checks the accessors plus RuleCount at every step. RuleCount
+// exactness matters beyond bookkeeping: the send fast path skips the
+// rule lookup entirely when the table is empty, so a leaked empty entry
+// would tax every send in the run.
+func TestInterleavedRuleLifecycleKeepsTableExact(t *testing.T) {
+	net, addrs := testNet(t, 6, Options{})
+	sideA, sideB := addrs[:3], addrs[3:]
+
+	step := func(want int, what string) {
+		t.Helper()
+		if got := net.RuleCount(); got != want {
+			t.Fatalf("RuleCount = %d after %s, want %d", got, what, want)
+		}
+	}
+	step(0, "build")
+
+	// A two-step loss ramp on one intra-side pair: the second SetLinkLoss
+	// replaces the first, it does not stack a second entry.
+	net.SetLinkLoss(sideA[0], sideA[1], 0.3)
+	net.SetLinkLoss(sideA[0], sideA[1], 0.7)
+	step(1, "two ramp steps on one pair")
+	if loss, ok := net.LossOverride(sideA[0], sideA[1]); !ok || loss != 0.7 {
+		t.Fatalf("loss = %v,%v after second ramp step, want 0.7,true", loss, ok)
+	}
+
+	// A partition: 3x3 cross pairs, both directions, plus the ramp.
+	net.Partition(sideA, sideB)
+	step(19, "partition")
+
+	// Selectively unblock one direction of one cross pair (the engine's
+	// intransitive drills do this); the reverse direction must hold.
+	net.UnblockLink(sideA[0], sideB[0])
+	step(18, "one-direction unblock")
+	if net.Blocked(sideA[0], sideB[0]) {
+		t.Fatal("unblocked direction still blocked")
+	}
+	if !net.Blocked(sideB[0], sideA[0]) {
+		t.Fatal("reverse direction lost with the unblock")
+	}
+
+	// A loss override on a still-partitioned cross pair shares that
+	// pair's entry; healing must strip only the block bit from it.
+	net.SetLinkLoss(sideB[1], sideA[1], 0.4)
+	step(18, "loss override on a blocked pair")
+	net.HealPartition(sideA, sideB)
+	step(2, "heal")
+	if net.Blocked(sideB[1], sideA[1]) {
+		t.Fatal("cross-pair block survived HealPartition")
+	}
+	if loss, ok := net.LossOverride(sideB[1], sideA[1]); !ok || loss != 0.4 {
+		t.Fatalf("cross-pair loss = %v,%v after heal, want 0.4,true", loss, ok)
+	}
+
+	// Healing an already-healed partition, and clearing overrides that do
+	// not exist, are no-ops - they must not manufacture empty entries.
+	net.HealPartition(sideA, sideB)
+	net.UnblockLink(sideB[2], sideA[2])
+	net.ClearLinkLoss(sideB[2], sideA[2])
+	step(2, "redundant heal and clears")
+
+	// Retiring the two survivors one way each empties the table.
+	net.ClearLinkLoss(sideA[0], sideA[1])
+	net.ClearRule(sideB[1], sideA[1])
+	step(0, "final clears")
+	if _, ok := net.LossOverride(sideA[0], sideA[1]); ok {
+		t.Fatal("ramp override survived ClearLinkLoss")
+	}
+}
+
+// TestOverlappingPartitionsShareBlocks pins a composition caveat: blocks
+// are a bit per directional pair, not a refcount, so when two partitions
+// overlap on a pair, healing either one unblocks that pair for both.
+// The scenario engine relies on this being the contract (it allows at
+// most one partition at a time); if blocks ever become refcounted, this
+// test - and that restriction - should change together.
+func TestOverlappingPartitionsShareBlocks(t *testing.T) {
+	net, addrs := testNet(t, 3, Options{})
+	a, b, c := addrs[:1], addrs[1:2], addrs[2:]
+
+	net.Partition(a, b) // blocks a<->b
+	net.Partition(b, c) // blocks b<->c
+	step := net.RuleCount()
+	if step != 4 {
+		t.Fatalf("RuleCount = %d after two partitions, want 4", step)
+	}
+
+	// Healing a|b removes its pair outright even though conceptually the
+	// pair "belonged" to one partition only - no double-entry bookkeeping.
+	net.HealPartition(a, b)
+	if net.Blocked(a[0], b[0]) || net.Blocked(b[0], a[0]) {
+		t.Fatal("a<->b still blocked after healing its partition")
+	}
+	if !net.Blocked(b[0], c[0]) || !net.Blocked(c[0], b[0]) {
+		t.Fatal("unrelated b<->c partition disturbed by healing a|b")
+	}
+	if net.RuleCount() != 2 {
+		t.Fatalf("RuleCount = %d after healing a|b, want 2", net.RuleCount())
+	}
+	net.HealPartition(b, c)
+	if net.RuleCount() != 0 {
+		t.Fatalf("RuleCount = %d after healing both, want 0", net.RuleCount())
+	}
+}
+
 func TestDetachUnplugsWithoutStoppingTimers(t *testing.T) {
 	net, addrs := testNet(t, 2, Options{})
 	a, b := addrs[0], addrs[1]
