@@ -21,13 +21,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", fmt.Sprintf("experiment to run (one of %v, or all)", experiments.Names()))
-		seed   = flag.Int64("seed", 1, "random seed")
-		nodes  = flag.Int("nodes", 0, "override overlay size (0 = experiment default)")
-		groups = flag.Int("groups", 0, "override group count where the driver has one (0 = default)")
-		window = flag.Duration("window", 0, "override steady-state measurement window (0 = default)")
-		short  = flag.Bool("short", false, "reduced-scale run")
-		paper  = flag.Bool("paper", false, "paper-scale run where supported (e.g. 16k-node svtree)")
+		exp     = flag.String("exp", "", fmt.Sprintf("experiment to run (one of %v, or all)", experiments.Names()))
+		seed    = flag.Int64("seed", 1, "random seed")
+		nodes   = flag.Int("nodes", 0, "override overlay size (0 = experiment default)")
+		groups  = flag.Int("groups", 0, "override group count where the driver has one (0 = default)")
+		window  = flag.Duration("window", 0, "override steady-state measurement window (0 = default)")
+		short   = flag.Bool("short", false, "reduced-scale run")
+		paper   = flag.Bool("paper", false, "paper-scale run where supported (e.g. 16k-node svtree)")
+		workers = flag.Int("workers", 0, "sharded parallel scheduler worker goroutines where supported (paperscale); 0 = serial")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		PaperScale: *paper,
 		Groups:     *groups,
 		Window:     *window,
+		Workers:    *workers,
 	}
 
 	failed := false

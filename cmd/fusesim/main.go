@@ -37,17 +37,18 @@ import (
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 100, "overlay size")
-		groups = flag.Int("groups", 20, "number of FUSE groups")
-		size   = flag.Int("size", 5, "members per group")
-		crash  = flag.Int("crash", 2, "nodes to crash simultaneously")
-		seed   = flag.Int64("seed", 1, "random seed (same seed => identical run)")
-		window = flag.Duration("window", 10*time.Minute, "virtual time to observe after the crash")
-		paper  = flag.Bool("paper", false, "use the paper-scale topology (required beyond ~2,880 nodes, e.g. -nodes 16000)")
-		script = flag.String("scenario", "", fmt.Sprintf("run a scripted fault scenario instead (one of %v, or a path to a scenario .json file)", scenario.Names()))
-		short  = flag.Bool("short", false, "trim scenario windows (with -scenario)")
-		list   = flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
-		dump   = flag.Bool("dump", false, "with -scenario: print the scenario as canonical JSON instead of running it")
+		nodes   = flag.Int("nodes", 100, "overlay size")
+		groups  = flag.Int("groups", 20, "number of FUSE groups")
+		size    = flag.Int("size", 5, "members per group")
+		crash   = flag.Int("crash", 2, "nodes to crash simultaneously")
+		seed    = flag.Int64("seed", 1, "random seed (same seed => identical run)")
+		window  = flag.Duration("window", 10*time.Minute, "virtual time to observe after the crash")
+		paper   = flag.Bool("paper", false, "use the paper-scale topology (required beyond ~2,880 nodes, e.g. -nodes 16000)")
+		script  = flag.String("scenario", "", fmt.Sprintf("run a scripted fault scenario instead (one of %v, or a path to a scenario .json file)", scenario.Names()))
+		short   = flag.Bool("short", false, "trim scenario windows (with -scenario)")
+		list    = flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
+		dump    = flag.Bool("dump", false, "with -scenario: print the scenario as canonical JSON instead of running it")
+		workers = flag.Int("workers", 0, "sharded parallel scheduler worker goroutines; 0 = serial (traces are identical either way)")
 	)
 	flag.Parse()
 	if *list {
@@ -61,7 +62,7 @@ func main() {
 	if *script != "" {
 		// Forward only the sizing flags the user explicitly set, so the
 		// preset's (or script file's) tuned defaults apply otherwise.
-		sp := scenario.Params{Short: *short}
+		sp := scenario.Params{Short: *short, Workers: *workers}
 		seedSet := false
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -89,9 +90,9 @@ func main() {
 
 	var sim *fuse.Sim
 	if *paper {
-		sim = fuse.NewSimPaperScale(*nodes, *seed)
+		sim = fuse.NewSimPaperScaleWorkers(*nodes, *seed, *workers)
 	} else {
-		sim = fuse.NewSim(*nodes, *seed)
+		sim = fuse.NewSimWorkers(*nodes, *seed, *workers)
 	}
 	fmt.Printf("overlay of %d nodes up; creating %d groups of %d...\n", *nodes, *groups, *size)
 
@@ -116,33 +117,56 @@ func main() {
 		crashed[v] = true
 	}
 
+	// One pre-allocated slot per (group, member) registration: under the
+	// sharded scheduler (-workers) handlers run on shard worker
+	// goroutines, so each writes only its own slot, timestamped with the
+	// member's own node clock; exactly-once delivery means a slot is hit
+	// at most once.
 	type event struct {
 		at    time.Duration
 		node  int
 		group fuse.GroupID
+		hit   bool
 	}
-	var events []event
+	events := make([]event, 0, len(made)**size)
 	var crashAt time.Time
+	armed := false
 	for _, g := range made {
 		for _, m := range g.members {
-			m, id := m, g.id
+			events = append(events, event{node: m, group: g.id})
+			ev := &events[len(events)-1]
+			m := m
 			sim.RegisterFailureHandler(m, func(fuse.Notice) {
-				if !crashed[m] {
-					events = append(events, event{at: sim.Now().Sub(crashAt), node: m, group: id})
+				if !crashed[m] && armed {
+					ev.hit = true
+					ev.at = sim.NodeNow(m).Sub(crashAt)
 				}
-			}, id)
+			}, g.id)
 		}
 	}
 
 	sim.RunFor(time.Minute)
 	crashAt = sim.Now()
+	armed = true
 	for v := range crashed {
 		sim.Crash(v)
 	}
 	fmt.Printf("crashed %d nodes at t=0; observing for %v of virtual time...\n\n", *crash, *window)
 	sim.RunFor(*window)
 
-	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	fired := events[:0:0]
+	for _, ev := range events {
+		if ev.hit {
+			fired = append(fired, ev)
+		}
+	}
+	events = fired
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].node < events[j].node
+	})
 	affected := map[string]bool{}
 	for _, g := range made {
 		for _, m := range g.members {

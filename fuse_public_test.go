@@ -202,6 +202,40 @@ func TestSimDeterminism(t *testing.T) {
 	}
 }
 
+// TestSimWorkersFacade exercises the sharded parallel scheduler through
+// the public facade: the crash drill of TestSimFacade at workers=4
+// (handlers record into per-node slots - under the sharded scheduler
+// they run on shard worker goroutines), plus the determinism pin that
+// worker counts 1 and 4 produce identical message totals.
+func TestSimWorkersFacade(t *testing.T) {
+	run := func(workers int) uint64 {
+		s := fuse.NewSimWorkers(24, 42, workers)
+		id, err := s.CreateGroup(0, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counts [24]int
+		for _, i := range []int{0, 5, 10} {
+			i := i
+			s.RegisterFailureHandler(i, func(fuse.Notice) { counts[i]++ }, id)
+		}
+		s.Crash(10)
+		s.RunFor(6 * time.Minute)
+		for _, i := range []int{0, 5} {
+			if counts[i] != 1 {
+				t.Fatalf("workers=%d: node %d notified %d times", workers, i, counts[i])
+			}
+		}
+		if s.HasState(0, id) {
+			t.Fatalf("workers=%d: state not torn down", workers)
+		}
+		return s.MessagesSent()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("workers=1 sent %d messages, workers=4 sent %d: scheduler leaked nondeterminism", a, b)
+	}
+}
+
 func TestPeerAt(t *testing.T) {
 	p := fuse.PeerAt("x.example.org", "10.0.0.1:7946")
 	if p.Name != "x.example.org" || string(p.Addr) != "10.0.0.1:7946" {

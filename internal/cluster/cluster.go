@@ -17,6 +17,13 @@ import (
 	"fuse/internal/transport/simnet"
 )
 
+// DefaultShards is the shard count used whenever Workers > 0 and Shards
+// is unset. The shard count is part of the logical event order (it
+// determines which node pairs exchange events through window barriers),
+// so it is fixed rather than derived from the machine: a run with
+// Workers=1 and a run with Workers=8 produce byte-identical traces.
+const DefaultShards = 8
+
 // Options configures a simulated deployment.
 type Options struct {
 	N          int
@@ -25,6 +32,19 @@ type Options struct {
 	SimOptions *simnet.Options  // nil => no per-message overheads
 	Overlay    *overlay.Config  // nil => overlay.DefaultConfig()
 	Fuse       *core.Config     // nil => core.DefaultConfig()
+
+	// Workers selects the execution mode of the event loop. 0 (the
+	// default) keeps the classic serial scheduler. Workers >= 1 enables
+	// the sharded conservative-parallel scheduler with that many worker
+	// goroutines; nodes are partitioned router-wise into Shards event
+	// lanes and the lookahead horizon is derived from the network's
+	// minimum delivery delay. Workers=1 runs the identical sharded
+	// logical order on one goroutine - useful for determinism
+	// cross-checks against higher worker counts.
+	Workers int
+
+	// Shards overrides DefaultShards when Workers > 0.
+	Shards int
 
 	// SkipAssemble leaves routing tables empty so a test can exercise
 	// the join protocol instead.
@@ -93,6 +113,18 @@ func New(opts Options) *Cluster {
 	sim := eventsim.New(opts.Seed)
 	topo := netmodel.Generate(netCfg)
 	net := simnet.New(sim, topo, simOpts)
+	if opts.Workers > 0 {
+		shardN := opts.Shards
+		if shardN <= 0 {
+			shardN = DefaultShards
+		}
+		lookahead := net.MinDeliveryDelay()
+		if lookahead <= 0 {
+			panic("cluster: sharded mode needs a positive minimum delivery delay (topology without links?)")
+		}
+		shards := sim.EnableShards(shardN, opts.Workers, lookahead)
+		net.UseShards(shards, func(r netmodel.RouterID) int { return int(r) % shardN })
+	}
 	c := &Cluster{
 		Sim:        sim,
 		Topo:       topo,
@@ -183,6 +215,15 @@ func (c *Cluster) AddNode() *Node {
 	router := netmodel.RouterID(c.Sim.Rand().Intn(c.Topo.NumRouters()))
 	return c.addNode(router)
 }
+
+// Workers returns the event loop's worker count (0 = serial scheduler).
+func (c *Cluster) Workers() int { return c.Sim.Workers() }
+
+// ShardCount returns the number of event shards (0 = serial scheduler).
+func (c *Cluster) ShardCount() int { return c.Sim.NumShards() }
+
+// ShardOf returns node i's shard index, or -1 under the serial scheduler.
+func (c *Cluster) ShardOf(i int) int { return c.Net.ShardIndex(c.Nodes[i].Addr) }
 
 // Crash fail-stops node i.
 func (c *Cluster) Crash(i int) { c.Net.Crash(c.Nodes[i].Addr) }

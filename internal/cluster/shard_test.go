@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"fuse/internal/core"
+)
+
+// TestShardedClusterNotifies smokes the full stack under the sharded
+// scheduler: create a group, crash a member, and expect the root's
+// failure handler to fire. Run under -race this exercises the parallel
+// windows end to end (overlay pings, FUSE liveness checking, repair).
+func TestShardedClusterNotifies(t *testing.T) {
+	c := New(Options{N: 24, Seed: 5, Workers: 4})
+	id, err := c.CreateGroup(0, 1, 2)
+	if err != nil {
+		t.Fatalf("CreateGroup: %v", err)
+	}
+	notified := false
+	c.Nodes[0].Fuse.RegisterFailureHandler(func(core.Notice) { notified = true }, id)
+	c.Sim.RunFor(time.Minute)
+	if notified {
+		t.Fatal("failure handler fired with no fault injected")
+	}
+	c.Crash(1)
+	c.Sim.RunFor(5 * time.Minute)
+	if !notified {
+		t.Fatal("root never notified after member crash")
+	}
+	if c.ShardOf(0) < 0 || c.ShardOf(0) >= c.ShardCount() {
+		t.Fatalf("ShardOf(0) = %d out of range (shards=%d)", c.ShardOf(0), c.ShardCount())
+	}
+	if c.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", c.Workers())
+	}
+}
+
+// TestShardedClusterDeterministicAcrossWorkers pins that the full
+// deployment's observable totals agree between workers=1 and workers=4
+// for an identical driver sequence (create groups, run, crash, run).
+func TestShardedClusterDeterministicAcrossWorkers(t *testing.T) {
+	type totals struct {
+		sent, delivered, dropped, executed uint64
+		elapsed                            time.Duration
+	}
+	run := func(workers int) totals {
+		c := New(Options{N: 32, Seed: 11, Workers: workers})
+		if _, err := c.CreateGroup(0, 1, 2, 3); err != nil {
+			t.Fatalf("workers=%d CreateGroup: %v", workers, err)
+		}
+		if _, err := c.CreateGroup(10, 11, 12); err != nil {
+			t.Fatalf("workers=%d CreateGroup: %v", workers, err)
+		}
+		c.Sim.RunFor(2 * time.Minute)
+		c.Crash(2)
+		c.Crash(11)
+		c.Sim.RunFor(5 * time.Minute)
+		return totals{
+			sent:      c.Net.Sent(),
+			delivered: c.Net.Delivered(),
+			dropped:   c.Net.Dropped(),
+			executed:  c.Sim.Executed(),
+			elapsed:   c.Sim.Elapsed(),
+		}
+	}
+	base := run(1)
+	if base.sent == 0 || base.delivered == 0 {
+		t.Fatalf("workload sent no traffic: %+v", base)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != base {
+			t.Fatalf("workers=%d totals %+v diverged from workers=1 %+v", workers, got, base)
+		}
+	}
+}

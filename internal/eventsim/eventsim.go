@@ -1,12 +1,22 @@
 // Package eventsim provides a deterministic discrete-event simulation
 // engine: a virtual clock, a pending-event queue, and cancellable timers.
 //
-// The engine is single-threaded by design. All scheduled callbacks run on
-// the goroutine that calls Run (or Step), one at a time, in deterministic
-// order: events fire in ascending virtual-time order, and events scheduled
-// for the same instant fire in the order they were scheduled. Combined with
-// a seeded random source this makes every simulation reproducible, which
-// the test suite and the experiment harness rely on.
+// The engine has two execution modes. In the default serial mode all
+// scheduled callbacks run on the goroutine that calls Run (or Step), one
+// at a time, in deterministic order: events fire in ascending virtual-time
+// order, and events scheduled for the same instant fire in the order they
+// were scheduled. Combined with a seeded random source this makes every
+// simulation reproducible, which the test suite and the experiment harness
+// rely on.
+//
+// EnableShards switches the engine to conservative parallel mode: events
+// are partitioned across per-core shard lanes that advance independently
+// within a lookahead window bounded by the minimum cross-shard event
+// delay, exchanging cross-shard events at window barriers (see shard.go).
+// The logical event order in sharded mode is the total order
+// (time, lane, sequence) and is a pure function of the shard count - the
+// number of worker goroutines changes wall-clock speed only, never the
+// trace.
 //
 // The engine is built for sustained high event rates (a 16,000-node
 // overlay arms hundreds of thousands of periodic timers): events live on
@@ -22,6 +32,7 @@ package eventsim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,44 +40,83 @@ import (
 // value is arbitrary; using a fixed, round timestamp makes logs readable.
 var Epoch = time.Date(2004, 10, 4, 0, 0, 0, 0, time.UTC) // OSDI 2004
 
-// Sim is a discrete-event simulator. The zero value is not usable; call New.
-type Sim struct {
-	now     time.Duration // offset from Epoch
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
+// globalLane is the lane id of the simulation's control lane. It sorts
+// before every shard id, so control events win ties at equal timestamps.
+const globalLane = -1
+
+// lane is one event queue with its own clock, schedule-order counter, and
+// recycling pool. The serial engine is a single lane; sharded mode adds
+// one lane per shard. A lane's events always fire in (at, seq) order, and
+// the cross-lane total order is (at, lane id, seq).
+type lane struct {
+	id  int // globalLane for the control lane, shard index otherwise
+	sim *Sim
+
+	now   time.Duration // offset from Epoch
+	queue eventQueue
+	seq   uint64
 
 	// free is the event recycling pool. Events are pushed when they fire
 	// or are stopped and popped by the next After/Schedule; reuse is LIFO
 	// so identically seeded runs recycle identically.
 	free []*event
 
-	// Executed counts events that have fired; useful for loop detection
-	// and for rough progress reporting in long experiments.
+	// executed counts events that have fired on this lane.
 	executed uint64
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	lane    // the control lane (all events, in serial mode)
+	rng     *rand.Rand
+	stopped bool
+
+	// pending counts scheduled-but-unfired events across every lane and
+	// outbox, maintained atomically so Pending may be read from any
+	// goroutine (e.g. a progress reporter) without racing the run loop.
+	pending atomic.Int64
+
+	sh *sharding // nil in serial mode
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	s.lane.id = globalLane
+	s.lane.sim = s
+	return s
 }
 
-// Now returns the current virtual time.
-func (s *Sim) Now() time.Time { return Epoch.Add(s.now) }
+// Now returns the current virtual time of the control lane. In sharded
+// mode individual shards may have advanced further inside the current
+// window; use Shard.Now for a node-local clock.
+func (s *Sim) Now() time.Time { return Epoch.Add(s.lane.now) }
 
 // Elapsed returns the virtual time elapsed since the simulation epoch.
-func (s *Sim) Elapsed() time.Duration { return s.now }
+func (s *Sim) Elapsed() time.Duration { return s.lane.now }
 
-// Rand returns the simulation's deterministic random source.
+// Rand returns the simulation's deterministic random source. In sharded
+// mode it must only be used at fences (setup, or control-lane events),
+// never from shard callbacks.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// Executed reports how many events have fired so far.
-func (s *Sim) Executed() uint64 { return s.executed }
+// Executed reports how many events have fired so far, across all lanes.
+func (s *Sim) Executed() uint64 {
+	n := s.lane.executed
+	if s.sh != nil {
+		for _, x := range s.sh.shards {
+			n += x.executed
+		}
+	}
+	return n
+}
 
 // Pending reports how many events are scheduled but have not fired.
-// Stopped timers leave the queue immediately, so the count is exact.
-func (s *Sim) Pending() int { return len(s.queue) }
+// Stopped timers leave the queue immediately, so the count is exact. The
+// counter is atomic: Pending is safe to call from any goroutine, and in
+// sharded mode aggregates every shard lane and in-flight cross-shard
+// mailbox entry.
+func (s *Sim) Pending() int { return int(s.pending.Load()) }
 
 // event states. A pending event sits in the heap; a fired event is the one
 // whose callback is currently executing (observable only from within that
@@ -81,8 +131,13 @@ const (
 // scheduling it was returned for: once the event fires or is stopped (and
 // its storage is recycled for an unrelated event), Stop and Reset on the
 // stale handle report false and touch nothing.
+//
+// A Timer is owned by the lane it was scheduled on: in sharded mode it
+// must only be used from that shard's callbacks (or at fences for
+// control-lane timers), which is the natural pattern - a node's timers
+// live on the node's shard.
 type Timer struct {
-	s   *Sim
+	l   *lane
 	ev  *event
 	gen uint32
 }
@@ -101,8 +156,8 @@ func (t *Timer) Stop() bool {
 	if !t.live() || t.ev.state != statePending {
 		return false
 	}
-	t.s.removeEvent(t.ev.index)
-	t.s.recycle(t.ev)
+	t.l.removeEvent(t.ev.index)
+	t.l.recycle(t.ev)
 	return true
 }
 
@@ -117,24 +172,24 @@ func (t *Timer) Reset(d time.Duration) bool {
 	if !t.live() {
 		return false
 	}
-	s := t.s
+	l := t.l
 	ev := t.ev
 	if d < 0 {
 		d = 0
 	}
 	switch ev.state {
 	case statePending:
-		ev.at = s.now + d
-		ev.seq = s.seq
-		s.seq++
-		s.fixEvent(ev.index)
+		ev.at = l.base() + d
+		ev.seq = l.seq
+		l.seq++
+		l.fixEvent(ev.index)
 		return true
 	case stateFired:
-		ev.at = s.now + d
-		ev.seq = s.seq
-		s.seq++
+		ev.at = l.base() + d
+		ev.seq = l.seq
+		l.seq++
 		ev.state = statePending
-		s.pushEvent(ev)
+		l.pushEvent(ev)
 		return true
 	}
 	return false
@@ -148,55 +203,104 @@ func (t *Timer) Stopped() bool {
 
 type event struct {
 	at    time.Duration
-	seq   uint64 // tiebreak: schedule order
+	seq   uint64 // tiebreak: schedule order within the lane
 	fn    func()
 	gen   uint32 // incremented on recycle; stale Timer handles mismatch
 	state uint8
 	index int // heap index
 }
 
-// alloc takes an event from the pool (or allocates one), initializes it,
-// and pushes it on the queue.
-func (s *Sim) alloc(d time.Duration, fn func()) *event {
-	if fn == nil {
-		panic("eventsim: schedule with nil callback")
+// base returns the reference instant for relative scheduling on this
+// lane. On the control lane, and for a shard executing inside a window,
+// it is the lane's own clock. For a shard lane touched at a fence (setup
+// code, or a control-lane event restarting a node) the shard's clock may
+// lag the simulation - its last event could be long past - so the control
+// lane's clock applies instead. The choice depends only on logical state,
+// never on worker count, so it cannot perturb determinism.
+func (l *lane) base() time.Duration {
+	if l.id == globalLane {
+		return l.now
 	}
+	s := l.sim
+	if s.sh.inWindow {
+		return l.now
+	}
+	if g := s.lane.now; g > l.now {
+		return g
+	}
+	return l.now
+}
+
+// alloc takes an event from the pool (or allocates one), initializes it
+// to fire d after the lane's scheduling base, and pushes it on the queue.
+func (l *lane) alloc(d time.Duration, fn func()) *event {
 	if d < 0 {
 		d = 0
 	}
+	return l.allocAt(l.base()+d, fn)
+}
+
+// allocAt is alloc at an absolute offset from Epoch. Times in the past
+// are clamped to the lane's present.
+func (l *lane) allocAt(at time.Duration, fn func()) *event {
+	if fn == nil {
+		panic("eventsim: schedule with nil callback")
+	}
+	if at < l.now {
+		at = l.now
+	}
 	var ev *event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
+	if n := len(l.free); n > 0 {
+		ev = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
 	} else {
 		ev = &event{}
 	}
-	ev.at = s.now + d
-	ev.seq = s.seq
-	s.seq++
+	ev.at = at
+	ev.seq = l.seq
+	l.seq++
 	ev.fn = fn
 	ev.state = statePending
-	s.pushEvent(ev)
+	l.pushEvent(ev)
 	return ev
 }
 
 // recycle returns a no-longer-pending event to the pool. Bumping the
 // generation invalidates every outstanding Timer handle to it.
-func (s *Sim) recycle(ev *event) {
+func (l *lane) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
 	ev.state = stateFree
 	ev.index = -1
-	s.free = append(s.free, ev)
+	l.free = append(l.free, ev)
+}
+
+// execOne pops and fires the lane's next event, advancing the lane clock.
+func (l *lane) execOne() {
+	ev := l.popEvent()
+	if ev.at < l.now {
+		panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", ev.at, l.now))
+	}
+	l.now = ev.at
+	ev.state = stateFired
+	l.executed++
+	ev.fn()
+	// Unless the callback re-armed its own event via Reset, the event is
+	// spent: recycle it for the next schedule.
+	if ev.state == stateFired {
+		l.recycle(ev)
+	}
 }
 
 // After schedules fn to run d from now and returns a cancellable handle.
 // A negative d is treated as zero: the event fires at the current instant,
-// after any events already scheduled for that instant.
+// after any events already scheduled for that instant. In sharded mode
+// this schedules on the control lane, which runs only at fences; node
+// callbacks must schedule through their Shard instead.
 func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	ev := s.alloc(d, fn)
-	return &Timer{s: s, ev: ev, gen: ev.gen}
+	ev := s.lane.alloc(d, fn)
+	return &Timer{l: &s.lane, ev: ev, gen: ev.gen}
 }
 
 // At schedules fn at the absolute virtual time t. Times in the past are
@@ -211,38 +315,39 @@ func (s *Sim) At(t time.Time, fn func()) *Timer {
 // right after firing, and no Timer is created. When fn is itself a reused
 // closure, a steady stream of Schedule calls allocates nothing.
 func (s *Sim) Schedule(d time.Duration, fn func()) {
-	s.alloc(d, fn)
+	s.lane.alloc(d, fn)
 }
 
 // ScheduleAt is Schedule at the absolute virtual time t.
 func (s *Sim) ScheduleAt(t time.Time, fn func()) {
-	s.alloc(t.Sub(s.Now()), fn)
+	s.lane.alloc(t.Sub(s.Now()), fn)
 }
 
-// Step fires the single next pending event. It reports false when the queue
-// is empty or the simulation has been stopped.
+// Step fires the single next pending event in the logical order. It
+// reports false when every queue is empty or the simulation has been
+// stopped. In sharded mode Step executes serially on the caller's
+// goroutine in strict (time, lane, sequence) order, so stepping drivers
+// (group-creation loops) behave identically at any worker count.
 func (s *Sim) Step() bool {
-	if len(s.queue) == 0 || s.stopped {
+	if s.stopped {
 		return false
 	}
-	ev := s.popEvent()
-	if ev.at < s.now {
-		panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", ev.at, s.now))
+	if s.sh != nil {
+		return s.stepSharded()
 	}
-	s.now = ev.at
-	ev.state = stateFired
-	s.executed++
-	ev.fn()
-	// Unless the callback re-armed its own event via Reset, the event is
-	// spent: recycle it for the next schedule.
-	if ev.state == stateFired {
-		s.recycle(ev)
+	if len(s.lane.queue) == 0 {
+		return false
 	}
+	s.lane.execOne()
 	return true
 }
 
-// Run fires events until the queue drains or Stop is called.
+// Run fires events until the queues drain or Stop is called.
 func (s *Sim) Run() {
+	if s.sh != nil {
+		s.runUntilSharded(maxDuration - s.sh.lookahead)
+		return
+	}
 	for s.Step() {
 	}
 }
@@ -252,11 +357,15 @@ func (s *Sim) Run() {
 // pending, so simulations can be resumed with further RunUntil or Run calls.
 func (s *Sim) RunUntil(deadline time.Time) {
 	limit := deadline.Sub(Epoch)
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= limit {
+	if s.sh != nil {
+		s.runUntilSharded(limit)
+		return
+	}
+	for !s.stopped && len(s.lane.queue) > 0 && s.lane.queue[0].at <= limit {
 		s.Step()
 	}
-	if !s.stopped && s.now < limit {
-		s.now = limit
+	if !s.stopped && s.lane.now < limit {
+		s.lane.now = limit
 	}
 }
 
@@ -264,7 +373,9 @@ func (s *Sim) RunUntil(deadline time.Time) {
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
 
 // Stop halts the simulation: no further events fire. Pending events stay
-// queued so that inspection after Stop is possible.
+// queued so that inspection after Stop is possible. In sharded mode Stop
+// takes effect at the next window barrier and must be called from a
+// fence (a control-lane event), not from shard callbacks.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Stopped reports whether Stop has been called.
@@ -286,8 +397,9 @@ func before(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-func (s *Sim) pushEvent(ev *event) {
-	q := append(s.queue, ev)
+func (l *lane) pushEvent(ev *event) {
+	l.sim.pending.Add(1)
+	q := append(l.queue, ev)
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -300,48 +412,50 @@ func (s *Sim) pushEvent(ev *event) {
 	}
 	q[i] = ev
 	ev.index = i
-	s.queue = q
+	l.queue = q
 }
 
-func (s *Sim) popEvent() *event {
-	q := s.queue
+func (l *lane) popEvent() *event {
+	l.sim.pending.Add(-1)
+	q := l.queue
 	top := q[0]
 	last := len(q) - 1
 	moved := q[last]
 	q[last] = nil
 	q = q[:last]
-	s.queue = q
+	l.queue = q
 	if last > 0 {
-		s.siftDown(moved, 0)
+		l.siftDown(moved, 0)
 	}
 	top.index = -1
 	return top
 }
 
 // removeEvent deletes the event at heap index i (a stopped timer).
-func (s *Sim) removeEvent(i int) {
-	q := s.queue
+func (l *lane) removeEvent(i int) {
+	l.sim.pending.Add(-1)
+	q := l.queue
 	last := len(q) - 1
 	removed := q[i]
 	moved := q[last]
 	q[last] = nil
 	q = q[:last]
-	s.queue = q
+	l.queue = q
 	if i < last {
-		s.fixFrom(moved, i)
+		l.fixFrom(moved, i)
 	}
 	removed.index = -1
 }
 
 // fixEvent restores heap order for the event at index i after its
 // deadline changed in place (Timer.Reset on a pending timer).
-func (s *Sim) fixEvent(i int) {
-	s.fixFrom(s.queue[i], i)
+func (l *lane) fixEvent(i int) {
+	l.fixFrom(l.queue[i], i)
 }
 
 // fixFrom places ev at index i, sifting whichever direction order needs.
-func (s *Sim) fixFrom(ev *event, i int) {
-	q := s.queue
+func (l *lane) fixFrom(ev *event, i int) {
+	q := l.queue
 	if i > 0 && before(ev, q[(i-1)/4]) {
 		for i > 0 {
 			parent := (i - 1) / 4
@@ -356,13 +470,13 @@ func (s *Sim) fixFrom(ev *event, i int) {
 		ev.index = i
 		return
 	}
-	s.siftDown(ev, i)
+	l.siftDown(ev, i)
 }
 
 // siftDown places ev at index i, moving it toward the leaves while a
 // child sorts earlier.
-func (s *Sim) siftDown(ev *event, i int) {
-	q := s.queue
+func (l *lane) siftDown(ev *event, i int) {
+	q := l.queue
 	n := len(q)
 	for {
 		first := 4*i + 1

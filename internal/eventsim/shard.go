@@ -1,0 +1,331 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const maxDuration = time.Duration(math.MaxInt64)
+
+// Sharded execution: conservative parallel discrete-event simulation.
+//
+// EnableShards partitions future node events across per-shard lanes. The
+// run loop alternates two regimes:
+//
+//   - Fences. Whenever the earliest pending event belongs to the control
+//     lane, every shard has quiesced past it and the control event runs
+//     alone on the run-loop goroutine. Control events (fault injection,
+//     cluster surgery, experiment probes) may therefore touch any state.
+//
+//   - Windows. Otherwise the loop opens a window [t, t+L) - clipped at
+//     the next control event and the run deadline - where L is the
+//     lookahead: the minimum virtual delay of any cross-shard event. Each
+//     shard executes its own events inside the window with no locks; the
+//     lookahead bound guarantees nothing another shard does inside the
+//     window can schedule work into this window, so shards are
+//     independent within it. Cross-shard events are buffered in per-shard
+//     outboxes and merged into destination lanes at the window barrier.
+//
+// Determinism holds by construction, not by scheduling luck: every event
+// carries a (time, lane, sequence) key, window contents depend only on
+// those keys, and outboxes merge in fixed (destination, source, FIFO)
+// order. Worker count parallelizes shard execution inside a window but
+// never reorders the logical total order, so traces are byte-identical
+// from workers=1 to workers=N.
+
+// sharding is the parallel-mode state hung off a Sim.
+type sharding struct {
+	shards    []*Shard
+	workers   int
+	lookahead time.Duration
+
+	// inWindow is true while shard callbacks may be executing. It is
+	// written only by the run-loop goroutine outside the parallel region
+	// (the worker spawn/join edges order it), and steers Post between
+	// direct heap insertion (fences) and outbox buffering (windows).
+	inWindow bool
+
+	busy []int // scratch: indices of shards with work in the window
+}
+
+// Shard is one partition of the simulation's events. Nodes are assigned
+// to shards at setup; each node schedules its timers on its own shard and
+// posts cross-node events through Post, which routes same-shard events
+// directly and buffers cross-shard events for the next barrier.
+type Shard struct {
+	lane
+	outbox [][]xevent // per-destination-shard buffers, this window
+}
+
+// xevent is a cross-shard event waiting in an outbox for the barrier.
+type xevent struct {
+	at time.Duration
+	fn func()
+}
+
+// EnableShards switches the simulation to conservative parallel mode with
+// n shard lanes executed by up to workers goroutines per window, and
+// returns the shards for node assignment. lookahead must be a lower bound
+// on the virtual delay of every cross-shard event (for a simulated
+// network: send overhead + minimum link latency + deliver overhead); the
+// barrier merge panics if a cross-shard event ever undercuts it.
+//
+// The shard count is part of the logical event order: runs with equal
+// shard counts and seeds are byte-identical at any worker count, runs
+// with different shard counts are not comparable. Call once, before any
+// node events are scheduled.
+func (s *Sim) EnableShards(n, workers int, lookahead time.Duration) []*Shard {
+	if s.sh != nil {
+		panic("eventsim: EnableShards called twice")
+	}
+	if n < 1 {
+		panic("eventsim: EnableShards needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("eventsim: EnableShards needs a positive lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sh := &sharding{
+		shards:    make([]*Shard, n),
+		workers:   workers,
+		lookahead: lookahead,
+		busy:      make([]int, 0, n),
+	}
+	for i := range sh.shards {
+		x := &Shard{outbox: make([][]xevent, n)}
+		x.lane.id = i
+		x.lane.sim = s
+		x.lane.now = s.lane.now
+		sh.shards[i] = x
+	}
+	s.sh = sh
+	return sh.shards
+}
+
+// Sharded reports whether EnableShards has been called.
+func (s *Sim) Sharded() bool { return s.sh != nil }
+
+// NumShards returns the shard count (0 in serial mode).
+func (s *Sim) NumShards() int {
+	if s.sh == nil {
+		return 0
+	}
+	return len(s.sh.shards)
+}
+
+// Workers returns the configured worker count (0 in serial mode).
+func (s *Sim) Workers() int {
+	if s.sh == nil {
+		return 0
+	}
+	return s.sh.workers
+}
+
+// Lookahead returns the configured conservative horizon (0 in serial mode).
+func (s *Sim) Lookahead() time.Duration {
+	if s.sh == nil {
+		return 0
+	}
+	return s.sh.lookahead
+}
+
+// Index returns the shard's position in the EnableShards result.
+func (x *Shard) Index() int { return x.lane.id }
+
+// Now returns the shard's local virtual clock: the current event's time
+// inside a window, the control lane's clock at fences.
+func (x *Shard) Now() time.Time { return Epoch.Add(x.base()) }
+
+// Elapsed is Now as an offset from the simulation epoch.
+func (x *Shard) Elapsed() time.Duration { return x.base() }
+
+// After schedules fn on this shard d from the shard's local clock and
+// returns a cancellable handle. It must be called from this shard's own
+// callbacks or from a fence.
+func (x *Shard) After(d time.Duration, fn func()) *Timer {
+	ev := x.lane.alloc(d, fn)
+	return &Timer{l: &x.lane, ev: ev, gen: ev.gen}
+}
+
+// Schedule is the handle-free After (see Sim.Schedule).
+func (x *Shard) Schedule(d time.Duration, fn func()) {
+	x.lane.alloc(d, fn)
+}
+
+// Post schedules fn on shard dst, d from this shard's local clock. Same
+// shard (or at a fence) it inserts directly; across shards inside a
+// window it buffers in the outbox for the barrier merge. Cross-shard
+// posts must respect the lookahead: d at least the EnableShards bound.
+func (x *Shard) Post(dst *Shard, d time.Duration, fn func()) {
+	if fn == nil {
+		panic("eventsim: post with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	at := x.base() + d
+	s := x.lane.sim
+	if dst == x || !s.sh.inWindow {
+		dst.lane.allocAt(at, fn)
+		return
+	}
+	x.outbox[dst.lane.id] = append(x.outbox[dst.lane.id], xevent{at: at, fn: fn})
+	s.pending.Add(1)
+}
+
+// headAt returns the lane's earliest pending time, or maxDuration.
+func (l *lane) headAt() time.Duration {
+	if len(l.queue) == 0 {
+		return maxDuration
+	}
+	return l.queue[0].at
+}
+
+// stepSharded fires the single logically-next event across all lanes,
+// serially. Ties at equal times resolve control lane first, then shards
+// by index. Cross-shard posts insert directly here (no barrier), so
+// same-instant interleavings can differ from a windowed run of the same
+// schedule - but stepping is itself fully deterministic, and any driver
+// that makes the same Step/RunFor call sequence gets the same trace at
+// every worker count, which is the determinism contract the harnesses
+// pin.
+func (s *Sim) stepSharded() bool {
+	best := &s.lane
+	for _, x := range s.sh.shards {
+		if x.lane.headAt() < best.headAt() {
+			best = &x.lane
+		}
+	}
+	at := best.headAt()
+	if at == maxDuration {
+		return false
+	}
+	best.execOne()
+	// Keep the control clock abreast so fence-relative scheduling and
+	// Sim.Now stay correct while stepping.
+	if s.lane.now < at {
+		s.lane.now = at
+	}
+	return true
+}
+
+// runUntilSharded is the windowed run loop (see the package comment at
+// the top of this file).
+func (s *Sim) runUntilSharded(limit time.Duration) {
+	sh := s.sh
+	for !s.stopped {
+		gt := s.lane.headAt()
+		st := maxDuration
+		for _, x := range sh.shards {
+			if h := x.lane.headAt(); h < st {
+				st = h
+			}
+		}
+		t := gt
+		if st < t {
+			t = st
+		}
+		if t == maxDuration || t > limit {
+			break
+		}
+		if gt <= st {
+			// Fence: drain every control event at this instant before
+			// opening a window (control lane wins ties).
+			s.lane.now = t
+			for !s.stopped && len(s.lane.queue) > 0 && s.lane.queue[0].at == t {
+				s.lane.execOne()
+			}
+			continue
+		}
+		end := t + sh.lookahead
+		if gt < end {
+			end = gt
+		}
+		if limit+1 < end {
+			end = limit + 1 // events at the deadline itself still fire
+		}
+		s.runWindow(t, end)
+	}
+	if !s.stopped && s.lane.now < limit {
+		s.lane.now = limit
+	}
+}
+
+// runWindow executes every shard event in [start, end), in parallel when
+// more than one shard has work, then merges the outboxes.
+func (s *Sim) runWindow(start, end time.Duration) {
+	sh := s.sh
+	busy := sh.busy[:0]
+	for i, x := range sh.shards {
+		if x.lane.now < start {
+			x.lane.now = start
+		}
+		if x.lane.headAt() < end {
+			busy = append(busy, i)
+		}
+	}
+	sh.busy = busy
+
+	sh.inWindow = true
+	if w := min(sh.workers, len(busy)); w <= 1 {
+		for _, i := range busy {
+			sh.shards[i].runTo(end)
+		}
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(busy) {
+						return
+					}
+					sh.shards[busy[j]].runTo(end)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	sh.inWindow = false
+
+	// Barrier: merge cross-shard events in fixed (destination, source,
+	// FIFO) order. Destination-lane sequence numbers are assigned here,
+	// so arrival order - and with it the whole downstream trace - is a
+	// pure function of shard count, not of worker interleaving.
+	for di, dst := range sh.shards {
+		for _, src := range sh.shards {
+			box := src.outbox[di]
+			if len(box) == 0 {
+				continue
+			}
+			s.pending.Add(-int64(len(box)))
+			for i := range box {
+				xe := &box[i]
+				if xe.at < end {
+					panic(fmt.Sprintf(
+						"eventsim: lookahead violated: cross-shard event at %v inside window ending %v (shard %d -> %d)",
+						xe.at, end, src.lane.id, di))
+				}
+				dst.lane.allocAt(xe.at, xe.fn)
+				xe.fn = nil
+			}
+			src.outbox[di] = box[:0]
+		}
+	}
+}
+
+// runTo drains the shard's events strictly before end (worker goroutine
+// body; touches only this shard's lane plus its outboxes).
+func (x *Shard) runTo(end time.Duration) {
+	for len(x.lane.queue) > 0 && x.lane.queue[0].at < end {
+		x.lane.execOne()
+	}
+}

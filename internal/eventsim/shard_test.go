@@ -1,0 +1,248 @@
+package eventsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardWorkload wires a deterministic 4-shard workload onto sim: each
+// shard runs a periodic tick until 100ms, every third tick posts a
+// cross-shard message (12ms, above the 10ms lookahead), every fifth tick
+// posts a same-shard message below the lookahead (legal: no barrier is
+// crossed), and a control-lane event at 30ms schedules onto a shard from
+// a fence. Records land in per-lane logs (only the owning lane appends),
+// so the returned transcript is well-defined at any worker count.
+func shardWorkload(sim *Sim, shards []*Shard) func() []string {
+	logs := make([][]string, len(shards)+1)
+	record := func(lane int, at time.Duration, tag string) {
+		logs[lane] = append(logs[lane], fmt.Sprintf("lane=%d at=%v %s", lane, at, tag))
+	}
+	for i := range shards {
+		i := i
+		sh := shards[i]
+		n := 0
+		var tick func()
+		tick = func() {
+			at := sh.Elapsed()
+			record(i, at, fmt.Sprintf("tick#%d", n))
+			n++
+			if n%3 == 0 {
+				dst := (i + 1) % len(shards)
+				from := i
+				sh.Post(shards[dst], 12*time.Millisecond, func() {
+					record(dst, shards[dst].Elapsed(), fmt.Sprintf("recv-from=%d", from))
+				})
+			}
+			if n%5 == 0 {
+				sh.Post(sh, time.Millisecond, func() {
+					record(i, sh.Elapsed(), "self-post")
+				})
+			}
+			if at < 100*time.Millisecond {
+				sh.Schedule(2*time.Millisecond+time.Duration(i)*100*time.Microsecond, tick)
+			}
+		}
+		sh.Schedule(time.Duration(i+1)*time.Millisecond, tick)
+	}
+	sim.After(30*time.Millisecond, func() {
+		record(len(shards), sim.Elapsed(), "fence")
+		sh := shards[2]
+		sh.Schedule(0, func() {
+			record(2, sh.Elapsed(), "fence-kick")
+		})
+	})
+	return func() []string {
+		var out []string
+		for _, l := range logs {
+			out = append(out, l...)
+		}
+		return out
+	}
+}
+
+func runShardWorkload(workers int, stepFirst int) []string {
+	sim := New(42)
+	shards := sim.EnableShards(4, workers, 10*time.Millisecond)
+	transcript := shardWorkload(sim, shards)
+	// Optionally drive the first events through Step, the way group
+	// creation does, before switching to the windowed loop.
+	for i := 0; i < stepFirst && sim.Step(); i++ {
+	}
+	// Two chunks so a window straddling the deadline is exercised.
+	sim.RunFor(60 * time.Millisecond)
+	sim.Run()
+	return transcript()
+}
+
+func TestShardedDeterminismAcrossWorkers(t *testing.T) {
+	base := runShardWorkload(1, 0)
+	if len(base) < 150 {
+		t.Fatalf("workload too small to be meaningful: %d records", len(base))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runShardWorkload(workers, 0)
+		if strings.Join(got, "\n") != strings.Join(base, "\n") {
+			t.Fatalf("workers=%d transcript diverged from workers=1 (%d vs %d records)",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// TestMixedStepAndRunDeterministicAcrossWorkers drives the first chunk
+// of the schedule through Step (the way CreateGroup loops do during
+// setup) and the rest through the windowed loop, and pins that the
+// transcript is identical at every worker count. This is the real
+// contract the scenario engine depends on: a driver that makes the same
+// Step/RunFor calls sees the same trace no matter how many workers
+// execute the windows.
+func TestMixedStepAndRunDeterministicAcrossWorkers(t *testing.T) {
+	base := runShardWorkload(1, 40)
+	for _, workers := range []int{2, 4} {
+		got := runShardWorkload(workers, 40)
+		if strings.Join(got, "\n") != strings.Join(base, "\n") {
+			t.Fatalf("workers=%d mixed-driver transcript diverged from workers=1", workers)
+		}
+	}
+}
+
+func TestShardedRunDrainsAndCountsExecuted(t *testing.T) {
+	sim := New(42)
+	shards := sim.EnableShards(4, 4, 10*time.Millisecond)
+	transcript := shardWorkload(sim, shards)
+	sim.Run()
+	if got := sim.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", got)
+	}
+	if got, want := sim.Executed(), uint64(len(transcript())); got != want {
+		t.Fatalf("Executed = %d, want %d (one per record)", got, want)
+	}
+}
+
+// TestPendingIsSafeConcurrently polls Pending from another goroutine
+// while the simulation runs - serial and sharded. Under -race this pins
+// the satellite fix: Pending used to read len(queue) unsynchronized.
+func TestPendingIsSafeConcurrently(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		sim := New(7)
+		if workers > 0 {
+			shards := sim.EnableShards(4, workers, 10*time.Millisecond)
+			shardWorkload(sim, shards)
+		} else {
+			var n int
+			var tick func()
+			tick = func() {
+				if n++; n < 2000 {
+					sim.Schedule(time.Millisecond, tick)
+				}
+			}
+			sim.Schedule(0, tick)
+		}
+		if sim.Pending() == 0 {
+			t.Fatalf("workers=%d: workload scheduled nothing", workers)
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = sim.Pending()
+				}
+			}
+		}()
+		sim.Run()
+		close(stop)
+		<-done
+		if got := sim.Pending(); got != 0 {
+			t.Fatalf("workers=%d: Pending = %d after drain, want 0", workers, got)
+		}
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	sim := New(1)
+	shards := sim.EnableShards(2, 1, 10*time.Millisecond)
+	shards[0].Schedule(time.Millisecond, func() {
+		// Cross-shard post below the lookahead bound: the barrier merge
+		// must refuse it rather than silently misorder the trace.
+		shards[0].Post(shards[1], time.Millisecond, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("undercutting the lookahead did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "lookahead violated") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	sim.RunFor(50 * time.Millisecond)
+}
+
+func TestEnableShardsGuards(t *testing.T) {
+	sim := New(1)
+	sim.EnableShards(2, 1, time.Millisecond)
+	for name, fn := range map[string]func(){
+		"twice":         func() { sim.EnableShards(2, 1, time.Millisecond) },
+		"zero shards":   func() { New(1).EnableShards(0, 1, time.Millisecond) },
+		"no lookahead":  func() { New(1).EnableShards(2, 1, 0) },
+		"neg lookahead": func() { New(1).EnableShards(2, 1, -time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("EnableShards %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFenceSchedulingUsesGlobalClock pins the stale-shard-clock rule: a
+// shard whose last event is long past still schedules fence work
+// relative to the simulation's present, not its own past.
+func TestFenceSchedulingUsesGlobalClock(t *testing.T) {
+	sim := New(1)
+	shards := sim.EnableShards(2, 2, 10*time.Millisecond)
+	shards[0].Schedule(time.Millisecond, func() {}) // lone early event
+	sim.RunFor(100 * time.Millisecond)
+
+	var firedAt time.Duration
+	shards[0].After(5*time.Millisecond, func() { firedAt = shards[0].Elapsed() })
+	sim.RunFor(10 * time.Millisecond)
+	if want := 105 * time.Millisecond; firedAt != want {
+		t.Fatalf("fence-scheduled timer fired at %v, want %v", firedAt, want)
+	}
+}
+
+// TestSerialModeUnchanged cross-checks the serial scheduler's totals
+// against a sharded run of one synthetic workload whose events never
+// share an instant across lanes: the execution counts must agree (the
+// two modes differ only in lane bookkeeping).
+func TestSerialModeUnchanged(t *testing.T) {
+	count := func(shard bool) uint64 {
+		sim := New(9)
+		fire := 0
+		var tick func()
+		tick = func() {
+			if fire++; fire < 500 {
+				sim.Schedule(time.Millisecond, tick)
+			}
+		}
+		if shard {
+			sim.EnableShards(2, 2, time.Millisecond)
+		}
+		sim.Schedule(0, tick)
+		sim.Run()
+		return sim.Executed()
+	}
+	if s, p := count(false), count(true); s != p {
+		t.Fatalf("serial executed %d events, sharded control lane %d", s, p)
+	}
+}

@@ -38,6 +38,11 @@ type Params struct {
 	// Window overrides the steady-state measurement window for drivers
 	// that have one; 0 means the driver's default.
 	Window time.Duration
+	// Workers selects the sharded parallel scheduler with that many
+	// worker goroutines for drivers that plumb it through (paperscale);
+	// 0 keeps the serial scheduler. Results are identical across worker
+	// counts; only wall-clock throughput changes.
+	Workers int
 }
 
 func (p Params) nodes(def int) int {
@@ -80,20 +85,21 @@ func (r *Result) String() string {
 type Runner func(p Params) (*Result, error)
 
 var registry = map[string]Runner{
-	"churn":      ChurnReliability,
-	"fig6":       Fig6RPCLatency,
-	"fig7":       Fig7GroupCreation,
-	"fig8":       Fig8SignaledNotification,
-	"fig9":       Fig9CrashNotification,
-	"fig10":      Fig10Churn,
-	"fig11":      Fig11RouteLoss,
-	"fig12":      Fig12FalsePositives,
-	"steady":     SteadyStateLoad,
-	"manygroups": ManyGroupsSteadyState,
-	"paperscale": PaperScaleSimulation,
-	"svtree":     SVTreeGroupSizes,
-	"swimcmp":    SwimComparison,
-	"ablation":   AblationTopologies,
+	"churn":          ChurnReliability,
+	"fig6":           Fig6RPCLatency,
+	"fig7":           Fig7GroupCreation,
+	"fig8":           Fig8SignaledNotification,
+	"fig9":           Fig9CrashNotification,
+	"fig10":          Fig10Churn,
+	"fig11":          Fig11RouteLoss,
+	"fig12":          Fig12FalsePositives,
+	"steady":         SteadyStateLoad,
+	"manygroups":     ManyGroupsSteadyState,
+	"paperscale":     PaperScaleSimulation,
+	"paperscale100k": PaperScale100k,
+	"svtree":         SVTreeGroupSizes,
+	"swimcmp":        SwimComparison,
+	"ablation":       AblationTopologies,
 }
 
 // Names lists all registered experiments, sorted.

@@ -27,7 +27,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestNamesComplete(t *testing.T) {
-	want := []string{"ablation", "churn", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "manygroups", "paperscale", "steady", "svtree", "swimcmp"}
+	want := []string{"ablation", "churn", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "manygroups", "paperscale", "paperscale100k", "steady", "svtree", "swimcmp"}
 	got := experiments.Names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v", got)
@@ -162,6 +162,40 @@ func TestPaperScaleScaledDown(t *testing.T) {
 	// A 1000-node overlay generates ~600 msg/s of pings+acks on its own.
 	if m["msg_per_s"] > 1000 {
 		t.Fatalf("steady-state load %v msg/s: groups are generating traffic", m["msg_per_s"])
+	}
+}
+
+// TestPaperScaleShardedDeterminism runs a small paperscale instance at
+// workers=1 and workers=4 and requires every virtual-time metric to
+// match: the sharded scheduler's logical order is a function of the
+// shard count (fixed), never the worker count, so notification counts,
+// latencies, and message totals must be bit-equal. Only wall-clock
+// metrics (sim_speed, events_per_wall_s, workers) may differ.
+func TestPaperScaleShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 400-node paper-scale runs")
+	}
+	run := func(workers int) map[string]float64 {
+		r, err := experiments.Run("paperscale", experiments.Params{
+			Seed: 1, Short: true, Nodes: 400, Groups: 50, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r.Metrics
+	}
+	w1, w4 := run(1), run(4)
+	for _, key := range []string{
+		"nodes", "groups", "msg_per_s", "checked_pairs", "check_timers",
+		"notifications", "expected", "duplicates", "notify_median_s", "notify_max_s",
+	} {
+		if w1[key] != w4[key] {
+			t.Errorf("%s: workers=1 %v != workers=4 %v", key, w1[key], w4[key])
+		}
+	}
+	if w1["notifications"] != w1["expected"] || w1["duplicates"] != 0 {
+		t.Fatalf("exactly-once broken: notified %v of %v, %v duplicates",
+			w1["notifications"], w1["expected"], w1["duplicates"])
 	}
 }
 

@@ -1,0 +1,103 @@
+package netmodel
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMinLinkLatencyWithinIntraASRange(t *testing.T) {
+	cfg := DefaultConfig(3)
+	topo := Generate(cfg)
+	got := topo.MinLinkLatency()
+	if got < cfg.IntraASLatencyMin || got > cfg.IntraASLatencyMax {
+		t.Fatalf("MinLinkLatency = %v, want within intra-AS range [%v, %v]",
+			got, cfg.IntraASLatencyMin, cfg.IntraASLatencyMax)
+	}
+	if p := topo.Path(0, 1); p.Latency < got {
+		t.Fatalf("path latency %v undercuts MinLinkLatency %v", p.Latency, got)
+	}
+}
+
+// TestConcurrentPathQueriesAreSafeAndExact hammers Path from several
+// goroutines (parallel simulation shards miss the route cache
+// concurrently) and checks the answers match a serial run. Run under
+// -race this also proves the memo locking.
+func TestConcurrentPathQueriesAreSafeAndExact(t *testing.T) {
+	topo := testTopology(t, 11)
+	rng := rand.New(rand.NewSource(5))
+	points := topo.AttachPoints(64, rng)
+
+	want := make([]Path, len(points))
+	serial := testTopology(t, 11)
+	for i, p := range points {
+		want[i] = serial.Path(p, points[(i+1)%len(points)])
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range points {
+				j := (i + w) % len(points)
+				got := topo.Path(points[j], points[(j+1)%len(points)])
+				if got != want[j] {
+					errs <- "concurrent Path answer diverged from serial"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestPathDuringWarmRoutesPanics proves the warming guard: a Path query
+// while WarmRoutes is in progress must panic loudly instead of silently
+// corrupting the pair memo. The onWarmStart hook runs on this goroutine
+// right after the flag rises, so the trip is deterministic even under
+// -race.
+func TestPathDuringWarmRoutesPanics(t *testing.T) {
+	topo := testTopology(t, 13)
+	topo.onWarmStart = func() { topo.Path(0, 5) }
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Path during WarmRoutes did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "concurrently with WarmRoutes") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	topo.WarmRoutes([][2]RouterID{{0, 1}}, 2)
+}
+
+func TestOverlappingWarmRoutesPanics(t *testing.T) {
+	topo := testTopology(t, 13)
+	topo.onWarmStart = func() { topo.WarmRoutes([][2]RouterID{{2, 3}}, 1) }
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overlapping WarmRoutes did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overlapping WarmRoutes") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	topo.WarmRoutes([][2]RouterID{{0, 1}}, 1)
+}
+
+func TestWarmRoutesGuardClearsAfterReturn(t *testing.T) {
+	topo := testTopology(t, 13)
+	topo.WarmRoutes([][2]RouterID{{0, 1}}, 2)
+	if got, want := topo.Path(0, 1), topo.Path(1, 0); got != want {
+		t.Fatalf("post-warmup Path answers diverge: %+v vs %+v", got, want)
+	}
+}

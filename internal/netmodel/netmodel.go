@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -123,18 +124,33 @@ type link struct {
 // pool of full single-source shortest-path trees (a paper-scale topology
 // has ~104k routers, so a tree costs ~2 MB; an unbounded per-source
 // cache at 16,000 attachment points would be tens of GB). WarmRoutes
-// bulk-fills the pair memo with parallel sweeps. Aside from WarmRoutes,
-// the Topology is not safe for concurrent use.
+// bulk-fills the pair memo with parallel sweeps.
+//
+// Concurrency: Path serializes its memo and tree pool behind a mutex, so
+// cold route-cache misses from parallel simulation shards are safe (and
+// still exact - the caches only memoize, they never change answers).
+// WarmRoutes must not run concurrently with Path: the bulk fill assumes
+// sole ownership of the pair memo, and an atomic in-progress flag turns
+// any violation into a panic instead of silent memo corruption.
 type Topology struct {
 	cfg      Config
 	adj      [][]link
 	numLinks int
 	t3Links  int
+	minLink  time.Duration // smallest single-link latency (lookahead bound)
 
+	mu         sync.Mutex // guards pairs, cache, cacheOrder
 	pairs      map[pairKey]Path
 	cache      map[RouterID]*pathTree
 	cacheOrder []RouterID // FIFO eviction order for cache
 	maxTrees   int
+
+	// warming is set for the duration of WarmRoutes; Path panics while it
+	// is up. onWarmStart is a test hook invoked (on the caller goroutine)
+	// right after the flag rises, so tests can trip the guard
+	// deterministically.
+	warming     atomic.Bool
+	onWarmStart func()
 }
 
 // pairKey is an unordered router pair (the graph is undirected, so paths
@@ -283,7 +299,17 @@ func (t *Topology) addLink(a, b RouterID, lat time.Duration, class LinkClass) {
 	if class == T3 {
 		t.t3Links++
 	}
+	if t.minLink == 0 || lat < t.minLink {
+		t.minLink = lat
+	}
 }
+
+// MinLinkLatency returns the smallest single-link latency in the
+// topology: a lower bound on the latency of any route between distinct
+// routers, and therefore the conservative lookahead bound for parallel
+// simulation (no message between differently-attached nodes can arrive
+// sooner than one link traversal).
+func (t *Topology) MinLinkLatency() time.Duration { return t.minLink }
 
 // NumRouters returns the number of routers in the topology.
 func (t *Topology) NumRouters() int { return len(t.adj) }
@@ -323,6 +349,11 @@ func (t *Topology) Path(from, to RouterID) Path {
 	if from == to {
 		return Path{}
 	}
+	if t.warming.Load() {
+		panic("netmodel: Path called concurrently with WarmRoutes; finish the warmup before querying (the pair memo would corrupt)")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := mkPair(from, to)
 	if p, ok := t.pairs[k]; ok {
 		return p
@@ -363,8 +394,17 @@ func (t *Topology) insertTree(src RouterID, tree *pathTree) {
 // distinct source resolves all of that source's pairs, where resolving
 // them lazily through Path would recompute sweeps as trees rotate out of
 // the bounded pool. Results are identical to Path's, and the memo insert
-// order is deterministic. WarmRoutes must not run concurrently with Path.
+// order is deterministic. WarmRoutes must not run concurrently with Path
+// (or itself); violations panic via the warming flag rather than
+// corrupting the memo silently.
 func (t *Topology) WarmRoutes(routePairs [][2]RouterID, workers int) {
+	if !t.warming.CompareAndSwap(false, true) {
+		panic("netmodel: overlapping WarmRoutes calls")
+	}
+	defer t.warming.Store(false)
+	if t.onWarmStart != nil {
+		t.onWarmStart()
+	}
 	// Group unresolved pairs by endpoint, then greedily sweep sources
 	// with the most unresolved pairs first so most pairs are answered by
 	// one of their two endpoints' single sweep.

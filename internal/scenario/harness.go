@@ -116,8 +116,61 @@ func (r *Report) violationf(format string, args ...any) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }
 
+// mergeSinks folds the per-lane sinks into the tracks and the final
+// trace, in (time, lane) order with per-lane FIFO stability - the
+// logical delivery order, independent of how many workers executed the
+// run. Under the serial scheduler there is a single sink and the merge
+// degenerates to its append order.
+func (e *Engine) mergeSinks() string {
+	idx := make([]int, len(e.sinks))
+	for {
+		best := -1
+		for li, sk := range e.sinks {
+			if idx[li] >= len(sk.notices) {
+				continue
+			}
+			if best == -1 || sk.notices[idx[li]].n.at < e.sinks[best].notices[idx[best]].n.at {
+				best = li
+			}
+		}
+		if best == -1 {
+			break
+		}
+		gn := e.sinks[best].notices[idx[best]]
+		idx[best]++
+		tr := e.tracks[gn.group]
+		tr.counts[incKey{gn.n.node, gn.n.inc}]++
+		tr.notices = append(tr.notices, gn.n)
+	}
+
+	var b strings.Builder
+	b.WriteString(e.trace.String()) // setup lines
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best := -1
+		for li, sk := range e.sinks {
+			if idx[li] >= len(sk.lines) {
+				continue
+			}
+			if best == -1 || sk.lines[idx[li]].at < e.sinks[best].lines[idx[best]].at {
+				best = li
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ln := e.sinks[best].lines[idx[best]]
+		idx[best]++
+		fmt.Fprintf(&b, "t=+%09.3fs  %s\n", ln.at.Seconds(), ln.text)
+	}
+	return b.String()
+}
+
 // check audits every track at the end of the run.
 func (e *Engine) check() *Report {
+	trace := e.mergeSinks()
 	r := &Report{Name: e.script.Name, Groups: len(e.tracks)}
 	for _, msg := range e.errs {
 		r.violationf("engine: %s", msg)
@@ -200,7 +253,7 @@ func (e *Engine) check() *Report {
 		}
 	}
 	r.Faults = e.faultSchedule()
-	r.Trace = e.trace.String()
+	r.Trace = trace
 	return r
 }
 

@@ -27,6 +27,10 @@ type Params struct {
 	MeanDwell time.Duration
 	// Window overrides the churn preset's churn window; 0 means default.
 	Window time.Duration
+	// Workers selects the sharded parallel scheduler with that many
+	// worker goroutines; 0 keeps the serial scheduler. Traces and
+	// reports are byte-identical across worker counts (>= 1).
+	Workers int
 }
 
 type presetBuilder func(p Params) (*cluster.Cluster, Script, error)
@@ -113,7 +117,7 @@ func ChurnWindow(p Params) time.Duration {
 // and notify every remaining member exactly once.
 func restartPreset(p Params) (*cluster.Cluster, Script, error) {
 	n := p.nodes(32)
-	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed, Workers: p.Workers})
 	s := Script{
 		Name: "restart",
 		Groups: []GroupSpec{
@@ -145,7 +149,7 @@ func restartPreset(p Params) (*cluster.Cluster, Script, error) {
 // before it (the composability the engine needs from simnet).
 func partitionHealPreset(p Params) (*cluster.Cluster, Script, error) {
 	n := p.nodes(40)
-	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed, Workers: p.Workers})
 	half := n / 2
 	sideA := make([]int, half)
 	sideB := make([]int, n-half)
@@ -184,7 +188,7 @@ func partitionHealPreset(p Params) (*cluster.Cluster, Script, error) {
 // to each other) converge on the failure exactly once.
 func intransitivePreset(p Params) (*cluster.Cluster, Script, error) {
 	n := p.nodes(24)
-	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed, Workers: p.Workers})
 	s := Script{
 		Name: "intransitive",
 		Groups: []GroupSpec{
@@ -261,7 +265,7 @@ func churnPreset(p Params) (*cluster.Cluster, Script, error) {
 				groups, stable, g)
 		}
 	}
-	c := cluster.New(cluster.Options{N: n, Seed: p.Seed})
+	c := cluster.New(cluster.Options{N: n, Seed: p.Seed, Workers: p.Workers})
 
 	churnStart := 30 * time.Second
 	s.Events = append(s.Events,

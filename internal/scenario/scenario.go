@@ -37,6 +37,7 @@ import (
 
 	"fuse/internal/cluster"
 	"fuse/internal/core"
+	"fuse/internal/eventsim"
 )
 
 // GroupSpec declares one FUSE group: a root node index, further member
@@ -84,13 +85,23 @@ type Script struct {
 }
 
 // Engine executes one Script over one cluster. It is single-use.
+//
+// The engine works unchanged under the serial and the sharded scheduler.
+// All of its own bookkeeping (fault records, incarnations, churn/ramp
+// processes) mutates only at fences: actions run as control-lane events.
+// The one structure failure handlers write from node context - the trace
+// and notice stream - is striped into per-lane sinks (one per event
+// shard, plus one for the control lane) and k-way merged by (time, lane)
+// when the run is audited, so the report and trace are byte-identical at
+// every worker count.
 type Engine struct {
 	c      *cluster.Cluster
 	script Script
 	rng    *rand.Rand
 
-	t0     time.Duration // sim elapsed when the timeline starts
-	trace  strings.Builder
+	t0     time.Duration   // sim elapsed when the timeline starts
+	trace  strings.Builder // setup lines (written before the timeline starts)
+	sinks  []*laneSink     // [0] control lane, [1+i] shard i
 	tracks []*track
 	inc    []int          // per-node incarnation counter
 	faults []faultRec     // every recorded fault, in schedule order (seq = index+1)
@@ -110,6 +121,10 @@ type Engine struct {
 // the run.
 func Run(c *cluster.Cluster, s Script) (*Report, error) {
 	e := &Engine{c: c, script: s, rng: c.Sim.Rand(), inc: make([]int, len(c.Nodes)), active: make(map[string]int)}
+	e.sinks = make([]*laneSink, 1+c.ShardCount())
+	for i := range e.sinks {
+		e.sinks[i] = &laneSink{}
+	}
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
@@ -153,11 +168,38 @@ func (e *Engine) setup() error {
 	return nil
 }
 
+// laneSink buffers the trace lines and notices produced on one event
+// lane. Each sink is appended to by exactly one lane - the control lane
+// for action lines, a node's shard for its notification handlers - so
+// sharded windows write without synchronization; the harness merges the
+// sinks by (time, lane) when it audits the run. Timestamps within a sink
+// are non-decreasing (lanes execute in time order), which is what makes
+// the k-way merge exact.
+type laneSink struct {
+	lines   []traceLine
+	notices []groupNotice
+}
+
+type traceLine struct {
+	at   time.Duration // timeline-relative
+	text string
+}
+
+// groupNotice is one handler invocation, tagged with its group index so
+// the merge can route it to the right track.
+type groupNotice struct {
+	group int
+	n     notice
+}
+
 // now returns the current timeline-relative virtual time.
 func (e *Engine) now() time.Duration { return e.c.Sim.Elapsed() - e.t0 }
 
+// tracef records a control-lane trace line at the present instant.
+// Actions and engine lifecycle steps run at fences, so lane 0 is theirs.
 func (e *Engine) tracef(format string, args ...any) {
-	fmt.Fprintf(&e.trace, "t=+%09.3fs  %s\n", e.now().Seconds(), fmt.Sprintf(format, args...))
+	sk := e.sinks[0]
+	sk.lines = append(sk.lines, traceLine{at: e.now(), text: fmt.Sprintf(format, args...)})
 }
 
 // faultRec is one recorded fault, for per-fault latency attribution. A
@@ -243,16 +285,26 @@ func (e *Engine) attribute(gi int) int {
 }
 
 // attach registers a failure handler for group gi on node's current
-// incarnation.
+// incarnation. The handler runs in the node's event context - under the
+// sharded scheduler that is the node's shard worker - so it writes only
+// to the node's lane sink, reads the node-local clock, and consults
+// engine state that mutates exclusively at fences (the fault schedule).
 func (e *Engine) attach(gi, node int) {
 	tr := e.tracks[gi]
 	inc := e.inc[node]
 	tr.attached[node] = inc
+	lane := 0
+	if sh := e.c.ShardOf(node); sh >= 0 {
+		lane = 1 + sh
+	}
+	sk := e.sinks[lane]
+	env := e.c.Nodes[node].Env
 	e.c.Nodes[node].Fuse.RegisterFailureHandler(func(n core.Notice) {
+		at := env.Now().Sub(eventsim.Epoch) - e.t0
 		fs := e.attribute(gi)
-		tr.counts[incKey{node, inc}]++
-		tr.notices = append(tr.notices, notice{node: node, inc: inc, at: e.now(), reason: n.Reason, fault: fs})
-		e.tracef("notify group=%d node=%d inc=%d reason=%s fault=%d", gi, node, inc, n.Reason, fs)
+		sk.notices = append(sk.notices, groupNotice{group: gi, n: notice{node: node, inc: inc, at: at, reason: n.Reason, fault: fs}})
+		sk.lines = append(sk.lines, traceLine{at: at, text: fmt.Sprintf(
+			"notify group=%d node=%d inc=%d reason=%s fault=%d", gi, node, inc, n.Reason, fs)})
 	}, tr.id)
 }
 

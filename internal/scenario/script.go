@@ -457,7 +457,7 @@ func (sf *ScriptFile) Build(p Params) (*cluster.Cluster, Script, error) {
 			return nil, Script{}, fmt.Errorf("with nodes=%d: %w", p.Nodes, err)
 		}
 	}
-	c := cluster.New(cluster.Options{N: eff.Nodes, Seed: eff.Seed})
+	c := cluster.New(cluster.Options{N: eff.Nodes, Seed: eff.Seed, Workers: p.Workers})
 	return c, eff.Script(), nil
 }
 

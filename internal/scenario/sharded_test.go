@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// runPresetWorkers builds and runs one preset at the given worker count.
+func runPresetWorkers(t *testing.T, name string, workers int) *Report {
+	t.Helper()
+	c, s, err := BuildPreset(name, Params{Seed: 5, Short: true, Workers: workers})
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	r, err := Run(c, s)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	return r
+}
+
+// TestShardedPresetDeterminism is the serial-vs-sharded determinism pin
+// for the full fault drills: the churn, partition-heal, and intransitive
+// presets must produce byte-identical traces and identical invariant-
+// harness reports at workers=1 and workers=4. Workers=1 runs the sharded
+// scheduler's logical order on one goroutine; workers=4 executes the
+// same order with parallel windows - any divergence means the
+// conservative horizon or the sink merge leaked scheduling
+// nondeterminism into observable behaviour.
+func TestShardedPresetDeterminism(t *testing.T) {
+	for _, name := range []string{"churn", "partition-heal", "intransitive"} {
+		t.Run(name, func(t *testing.T) {
+			serial := runPresetWorkers(t, name, 1)
+			if serial.Trace == "" {
+				t.Fatal("empty trace")
+			}
+			if !serial.OK() {
+				t.Fatalf("workers=1 run violated invariants:\n%s", serial.Stats())
+			}
+			parallel := runPresetWorkers(t, name, 4)
+			if serial.Trace != parallel.Trace {
+				t.Fatalf("workers=1 and workers=4 traces differ\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+					head(serial.Trace, 30), head(parallel.Trace, 30))
+			}
+			if serial.Stats() != parallel.Stats() {
+				t.Fatalf("reports differ:\n%s\nvs\n%s", serial.Stats(), parallel.Stats())
+			}
+			if serial.FaultTable() != parallel.FaultTable() {
+				t.Fatalf("fault attribution differs:\n%s\nvs\n%s",
+					serial.FaultTable(), parallel.FaultTable())
+			}
+		})
+	}
+}
+
+// TestShardedRunUpholdsInvariants runs every preset sharded at
+// workers=4 and requires a green audit - exactly-once, no lost
+// notifications, consistency - not just internal consistency with the
+// serial run.
+func TestShardedRunUpholdsInvariants(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			r := runPresetWorkers(t, name, 4)
+			if !r.OK() {
+				t.Fatalf("sharded %s violated invariants:\n%s", name, r.Stats())
+			}
+			if r.Notices == 0 {
+				t.Fatalf("sharded %s observed no notifications (drill did nothing?)", name)
+			}
+		})
+	}
+}
+
+// head returns the first n lines of s, for readable failure output.
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -75,6 +75,13 @@ func DefaultOptions() Options {
 }
 
 // Net connects simulated nodes over a topology.
+//
+// In sharded mode (UseShards) every node belongs to one eventsim shard
+// and all mutable steady-state structures - delivery pools, traffic
+// counters - are striped per shard (netSlot), so parallel windows touch
+// disjoint state. Fault-injection methods and the aggregate counters must
+// only be called at fences (between Run calls or from control-lane
+// events), which is where every caller in this repository already sits.
 type Net struct {
 	sim  *eventsim.Sim
 	topo *netmodel.Topology
@@ -83,18 +90,40 @@ type Net struct {
 	nodes map[transport.Addr]*node
 	rules map[rulePair]rule
 
+	// shards is non-nil in sharded mode; shardOf maps an attachment
+	// router to a shard index. Keying the assignment on the router (not
+	// the node) keeps same-router nodes - whose mutual path latency is
+	// zero - on one shard, preserving the cross-shard lookahead bound.
+	shards  []*eventsim.Shard
+	shardOf func(netmodel.RouterID) int
+
+	// slots holds the per-shard state stripes; a single slot 0 serves the
+	// serial mode.
+	slots []netSlot
+
+	// OnDeliver, if set, observes every successful delivery. Experiments
+	// use it to classify traffic. The observed message is only valid for
+	// the duration of the call (pooled records are recycled afterwards).
+	// In sharded mode it runs on the destination's worker goroutine and
+	// must only touch per-shard state.
+	OnDeliver func(from, to transport.Addr, msg transport.Message)
+}
+
+// netSlot is one shard's stripe of the network's mutable steady state.
+// The padding keeps stripes on distinct cache lines so parallel windows
+// do not false-share counter updates.
+type netSlot struct {
 	// freeDeliveries pools in-flight delivery records; each carries a
 	// closure built once and reused for every message it ferries.
+	// Records are drawn from the sending node's slot and recycled into
+	// the destination's, both touched only by the owning shard.
 	freeDeliveries []*delivery
 
 	sent      uint64
 	delivered uint64
 	dropped   uint64
 
-	// OnDeliver, if set, observes every successful delivery. Experiments
-	// use it to classify traffic. The observed message is only valid for
-	// the duration of the call (pooled records are recycled afterwards).
-	OnDeliver func(from, to transport.Addr, msg transport.Message)
+	_ [16]byte
 }
 
 type rulePair struct{ from, to transport.Addr }
@@ -116,11 +145,51 @@ func New(sim *eventsim.Sim, topo *netmodel.Topology, opts Options) *Net {
 		opts:  opts,
 		nodes: make(map[transport.Addr]*node),
 		rules: make(map[rulePair]rule),
+		slots: make([]netSlot, 1),
 	}
 }
 
 // Sim returns the underlying simulator.
 func (n *Net) Sim() *eventsim.Sim { return n.sim }
+
+// UseShards switches the network to sharded mode: every node added
+// afterwards is assigned to shards[shardOf(router)] and schedules its
+// timers and deliveries there. Must be called before any AddNode.
+//
+// shardOf must be a pure function of the router so that nodes attached to
+// the same router always share a shard; cross-shard deliveries then
+// always cross at least one topology link and respect the simulator's
+// lookahead.
+func (n *Net) UseShards(shards []*eventsim.Shard, shardOf func(netmodel.RouterID) int) {
+	if len(n.nodes) > 0 {
+		panic("simnet: UseShards must be called before AddNode")
+	}
+	if len(shards) == 0 {
+		panic("simnet: UseShards with no shards")
+	}
+	n.shards = shards
+	n.shardOf = shardOf
+	n.slots = make([]netSlot, len(shards))
+}
+
+// Sharded reports whether UseShards has been called.
+func (n *Net) Sharded() bool { return n.shards != nil }
+
+// ShardIndex returns addr's shard assignment, or -1 in serial mode.
+func (n *Net) ShardIndex(addr transport.Addr) int {
+	if n.shards == nil {
+		return -1
+	}
+	return n.mustNode(addr).slot
+}
+
+// MinDeliveryDelay returns the smallest virtual delay any cross-shard
+// delivery can experience: serialization overhead, one traversal of the
+// topology's cheapest link, and receiver overhead. Cluster setup feeds
+// this to eventsim.EnableShards as the conservative lookahead.
+func (n *Net) MinDeliveryDelay() time.Duration {
+	return n.opts.SendOverhead + n.topo.MinLinkLatency() + n.opts.DeliverOverhead
+}
 
 // node implements transport.Env for one simulated endpoint.
 type node struct {
@@ -129,6 +198,10 @@ type node struct {
 	router  netmodel.RouterID
 	handler transport.Handler
 	rng     *rand.Rand
+	// shard is the node's event lane in sharded mode (nil in serial
+	// mode); slot indexes the net's state stripes (0 in serial mode).
+	shard   *eventsim.Shard
+	slot    int
 	crashed bool
 	// detached unplugs the endpoint from the network while its process
 	// keeps running (timers fire, sends and receives are dropped).
@@ -164,11 +237,12 @@ type delivery struct {
 	run   func()
 }
 
-func (n *Net) newDelivery() *delivery {
-	if k := len(n.freeDeliveries); k > 0 {
-		d := n.freeDeliveries[k-1]
-		n.freeDeliveries[k-1] = nil
-		n.freeDeliveries = n.freeDeliveries[:k-1]
+func (n *Net) newDelivery(slot int) *delivery {
+	pool := &n.slots[slot].freeDeliveries
+	if k := len(*pool); k > 0 {
+		d := (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
 		return d
 	}
 	d := &delivery{net: n}
@@ -185,13 +259,14 @@ func (d *delivery) deliver() {
 	net := d.net
 	dst, from, msg, epoch := d.dst, d.from, d.msg, d.epoch
 	d.dst, d.msg = nil, nil
-	net.freeDeliveries = append(net.freeDeliveries, d)
+	slot := &net.slots[dst.slot]
+	slot.freeDeliveries = append(slot.freeDeliveries, d)
 	if dst.crashed || dst.detached || dst.epoch != epoch || dst.handler == nil {
-		net.dropped++
+		slot.dropped++
 		transport.ReleaseMessage(msg)
 		return
 	}
-	net.delivered++
+	slot.delivered++
 	if net.OnDeliver != nil {
 		net.OnDeliver(from, dst.addr, msg)
 	}
@@ -211,6 +286,11 @@ func (n *Net) AddNode(addr transport.Addr, router netmodel.RouterID) transport.E
 		router: router,
 		rng:    rand.New(rand.NewSource(n.sim.Rand().Int63())),
 		routes: make(map[transport.Addr]route),
+	}
+	if n.shards != nil {
+		idx := n.shardOf(router)
+		nd.shard = n.shards[idx]
+		nd.slot = idx
 	}
 	nd.nextFree = n.sim.Elapsed()
 	n.nodes[addr] = nd
@@ -395,21 +475,58 @@ func (n *Net) Rejoin(addr transport.Addr) { n.mustNode(addr).detached = false }
 func (n *Net) Detached(addr transport.Addr) bool { return n.mustNode(addr).detached }
 
 // Sent returns the number of Send calls that reached the network (from
-// live nodes).
-func (n *Net) Sent() uint64 { return n.sent }
+// live nodes). Like all aggregate counters it sums the per-shard stripes
+// and must be read at a fence.
+func (n *Net) Sent() uint64 {
+	var total uint64
+	for i := range n.slots {
+		total += n.slots[i].sent
+	}
+	return total
+}
 
 // Delivered returns the number of messages handed to a handler.
-func (n *Net) Delivered() uint64 { return n.delivered }
+func (n *Net) Delivered() uint64 {
+	var total uint64
+	for i := range n.slots {
+		total += n.slots[i].delivered
+	}
+	return total
+}
 
 // Dropped returns the number of messages lost to blocks, socket breaks, or
 // dead destinations.
-func (n *Net) Dropped() uint64 { return n.dropped }
+func (n *Net) Dropped() uint64 {
+	var total uint64
+	for i := range n.slots {
+		total += n.slots[i].dropped
+	}
+	return total
+}
 
 // --- transport.Env implementation ---
 
 func (nd *node) Addr() transport.Addr { return nd.addr }
-func (nd *node) Now() time.Time       { return nd.net.sim.Now() }
 func (nd *node) Rand() *rand.Rand     { return nd.rng }
+
+// Now returns the node's local virtual clock: its shard's clock in
+// sharded mode (which may run ahead of other shards inside a window, but
+// is exactly the executing event's time), the global clock otherwise.
+func (nd *node) Now() time.Time {
+	if nd.shard != nil {
+		return nd.shard.Now()
+	}
+	return nd.net.sim.Now()
+}
+
+// elapsed is Now as an offset from the simulation epoch (plain integer
+// arithmetic for the send path).
+func (nd *node) elapsed() time.Duration {
+	if nd.shard != nil {
+		return nd.shard.Elapsed()
+	}
+	return nd.net.sim.Elapsed()
+}
 
 func (nd *node) Logf(format string, args ...any) {
 	if nd.logf != nil {
@@ -424,22 +541,27 @@ func (n *Net) SetLogf(addr transport.Addr, logf func(format string, args ...any)
 
 func (nd *node) After(d time.Duration, fn func()) transport.Timer {
 	epoch := nd.epoch
-	return nd.net.sim.After(d, func() {
+	wrapped := func() {
 		if nd.crashed || nd.epoch != epoch {
 			return
 		}
 		fn()
-	})
+	}
+	if nd.shard != nil {
+		return nd.shard.After(d, wrapped)
+	}
+	return nd.net.sim.After(d, wrapped)
 }
 
 func (nd *node) Send(to transport.Addr, msg transport.Message) {
 	net := nd.net
+	slot := &net.slots[nd.slot]
 	if nd.crashed {
 		transport.ReleaseMessage(msg)
 		return
 	}
 	if nd.detached {
-		net.dropped++
+		slot.dropped++
 		transport.ReleaseMessage(msg)
 		return
 	}
@@ -447,20 +569,20 @@ func (nd *node) Send(to transport.Addr, msg transport.Message) {
 	if !ok {
 		dst, exists := net.nodes[to]
 		if !exists {
-			net.dropped++
+			slot.dropped++
 			transport.ReleaseMessage(msg)
 			return
 		}
 		rt = route{dst: dst, path: net.topo.Path(nd.router, dst.router)}
 		nd.routes[to] = rt
 	}
-	net.sent++
+	slot.sent++
 
 	loss := rt.path.Loss
 	if len(net.rules) > 0 {
 		r := net.rules[rulePair{nd.addr, to}]
 		if r.block {
-			net.dropped++
+			slot.dropped++
 			transport.ReleaseMessage(msg)
 			return
 		}
@@ -472,7 +594,7 @@ func (nd *node) Send(to transport.Addr, msg transport.Message) {
 	// Sender-side serialization: messages leave one at a time, each
 	// paying SendOverhead. This serial queue is what the paper's Figure 8
 	// attributes its group-size dependence to.
-	now := net.sim.Elapsed()
+	now := nd.elapsed()
 	depart := now
 	if nd.nextFree > depart {
 		depart = nd.nextFree
@@ -495,14 +617,24 @@ func (nd *node) Send(to transport.Addr, msg transport.Message) {
 		rto *= 2
 	}
 	if !delivered {
-		net.dropped++
+		slot.dropped++
 		transport.ReleaseMessage(msg)
 		return
 	}
 
-	dl := net.newDelivery()
+	dl := net.newDelivery(nd.slot)
 	dl.from, dl.dst, dl.msg, dl.epoch = nd.addr, rt.dst, msg, rt.dst.epoch
-	net.sim.Schedule(depart-now+rt.path.Latency+retryDelay+net.opts.DeliverOverhead, dl.run)
+	// The total delay is at least SendOverhead + path latency +
+	// DeliverOverhead; a cross-shard destination is attached to a
+	// different router (UseShards keys shards on routers), so its path
+	// crosses at least one link and the delay clears MinDeliveryDelay -
+	// the lookahead bound the barrier merge enforces.
+	delay := depart - now + rt.path.Latency + retryDelay + net.opts.DeliverOverhead
+	if nd.shard != nil {
+		nd.shard.Post(rt.dst.shard, delay, dl.run)
+	} else {
+		net.sim.Schedule(delay, dl.run)
+	}
 }
 
 var _ transport.Env = (*node)(nil)

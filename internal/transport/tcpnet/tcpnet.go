@@ -56,17 +56,28 @@ type Node struct {
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	dials     atomic.Uint64
+
+	idleTimeout atomic.Int64 // ns; <= 0 disables the reaper
+	openOut     atomic.Int64 // outbound TCP connections currently open
 }
 
 // outConn is a cached outbound connection with a writer goroutine. Sends
 // enqueue onto ch; the writer dials lazily and drops everything on error.
 type outConn struct {
-	to   transport.Addr
-	ch   chan transport.Message
-	node *Node
+	to      transport.Addr
+	ch      chan transport.Message
+	node    *Node
+	lastUse time.Time // guarded by node.mu; refreshed by every Send
 }
 
 const outQueueDepth = 256
+
+// defaultIdleTimeout is how long a cached connection may sit unused
+// before the reaper tears it down. The paper's implementation caches
+// connections so repeat RPCs skip establishment (Figure 6); without a
+// reaper the cache only grows, and a node that has ever pinged the
+// whole overlay holds one fd per peer forever.
+const defaultIdleTimeout = 2 * time.Minute
 
 // Listen binds a TCP listener (use "127.0.0.1:0" for tests) and starts the
 // node's mailbox and accept loops. The returned node's Addr is the actual
@@ -84,9 +95,11 @@ func Listen(bind string, seed int64) (*Node, error) {
 		conns:   make(map[transport.Addr]*outConn),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
-	n.wg.Add(2)
+	n.idleTimeout.Store(int64(defaultIdleTimeout))
+	n.wg.Add(3)
 	go n.mailboxLoop()
 	go n.acceptLoop()
+	go n.reapLoop()
 	return n, nil
 }
 
@@ -130,6 +143,26 @@ func (n *Node) Delivered() uint64 { return n.delivered.Load() }
 // Dials reports outbound TCP connection attempts; the gap between Sent and
 // Dials demonstrates connection caching.
 func (n *Node) Dials() uint64 { return n.dials.Load() }
+
+// OpenConns reports outbound TCP connections currently open (dialed and
+// not yet closed). After the idle timeout with no traffic it converges
+// to zero: the reaper evicts cached connections and their writers close
+// the sockets.
+func (n *Node) OpenConns() int { return int(n.openOut.Load()) }
+
+// CachedConns reports entries in the outbound connection cache,
+// including ones whose writer has not dialed yet.
+func (n *Node) CachedConns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+// SetIdleTimeout sets how long a cached outbound connection may sit
+// unused before the reaper closes it. Zero or negative disables
+// reaping. Takes effect on the reaper's next scan (within a quarter of
+// the previous timeout).
+func (n *Node) SetIdleTimeout(d time.Duration) { n.idleTimeout.Store(int64(d)) }
 
 // SetLogf installs a debug logger.
 func (n *Node) SetLogf(f func(format string, args ...any)) { n.logf.Store(f) }
@@ -247,6 +280,7 @@ func (n *Node) Send(to transport.Addr, msg transport.Message) {
 		n.wg.Add(1)
 		go c.writeLoop()
 	}
+	c.lastUse = time.Now()
 	// Enqueue under the lock so Close cannot close the channel between
 	// the cache lookup and the send.
 	select {
@@ -351,6 +385,7 @@ func (c *outConn) writeLoop() {
 	defer func() {
 		if conn != nil {
 			conn.Close()
+			n.openOut.Add(-1)
 		}
 	}()
 	for msg := range c.ch {
@@ -365,6 +400,7 @@ func (c *outConn) writeLoop() {
 				c.abandon()
 				return
 			}
+			n.openOut.Add(1)
 			w = bufio.NewWriter(conn)
 			if err := writeHeader(w, n.addr); err != nil {
 				n.Logf("tcpnet: write header to %s: %v", c.to, err)
@@ -412,11 +448,58 @@ func (c *outConn) abandon() {
 		select {
 		case msg, ok := <-c.ch:
 			if !ok {
-				return // Close owns the channel; it drains via writeLoop
+				return // Close or the reaper owns the channel; writeLoop drains it
 			}
 			transport.ReleaseMessage(msg)
 		default:
 			return
 		}
 	}
+}
+
+// reapLoop periodically evicts idle connections. Channel-close ownership:
+// a conn's channel is closed exactly once, by whoever removes it from
+// the cache while holding mu - Close for all conns at shutdown, the
+// reaper for idle ones. abandon removes without closing (its writeLoop
+// is exiting and drains the queue itself). Since Send only enqueues
+// under mu while the conn is still cached, removal-then-close can never
+// race a send onto a closed channel.
+func (n *Node) reapLoop() {
+	defer n.wg.Done()
+	for {
+		wait := time.Duration(n.idleTimeout.Load()) / 4
+		if wait <= 0 {
+			wait = time.Second // reaping disabled: idle poll for re-enable
+		}
+		select {
+		case <-n.done:
+			return
+		case <-time.After(wait):
+		}
+		n.reapIdle(time.Now())
+	}
+}
+
+// reapIdle evicts every cached connection unused for the idle timeout:
+// removed from the cache and its channel closed under mu, which makes
+// the writer drain whatever is queued, close the TCP connection, and
+// exit. The next Send to that peer redials - exactly the cold-RPC cost
+// the cache exists to amortize, paid again only after genuine idleness.
+func (n *Node) reapIdle(now time.Time) {
+	timeout := time.Duration(n.idleTimeout.Load())
+	if timeout <= 0 {
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	for to, c := range n.conns {
+		if now.Sub(c.lastUse) >= timeout {
+			delete(n.conns, to)
+			close(c.ch)
+		}
+	}
+	n.mu.Unlock()
 }

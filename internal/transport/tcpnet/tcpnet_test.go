@@ -446,3 +446,103 @@ func TestDropPathsReleasePooledMessages(t *testing.T) {
 		t.Fatalf("send-after-close released %d, want %d", got, msgs+1)
 	}
 }
+
+// TestIdleConnsAreReaped is the fd-leak regression test: a node that
+// sent to N peers and then went idle must converge back to zero open
+// outbound connections (and zero cache entries) once the idle timeout
+// passes, and the peers' inbound sides observe the close too.
+func TestIdleConnsAreReaped(t *testing.T) {
+	const peers = 8
+	sender := newNode(t, 1)
+	sender.SetIdleTimeout(80 * time.Millisecond)
+
+	var acks [peers]<-chan struct{}
+	for i := 0; i < peers; i++ {
+		p := newNode(t, int64(2+i))
+		_, acks[i] = collect(p)
+		sender.Send(p.Addr(), &testMsg{Seq: i, Body: "warm"})
+	}
+	for i := 0; i < peers; i++ {
+		waitN(t, acks[i], 1)
+	}
+	if got := sender.CachedConns(); got != peers {
+		t.Fatalf("CachedConns = %d after sending to %d peers", got, peers)
+	}
+	if got := sender.OpenConns(); got != peers {
+		t.Fatalf("OpenConns = %d after sending to %d peers", got, peers)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sender.OpenConns() != 0 || sender.CachedConns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle conns never reaped: open=%d cached=%d",
+				sender.OpenConns(), sender.CachedConns())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReapedConnRedials verifies the reaper only costs the next sender a
+// reconnect: after eviction, a fresh Send dials again and delivers.
+func TestReapedConnRedials(t *testing.T) {
+	a := newNode(t, 1)
+	b := newNode(t, 2)
+	a.SetIdleTimeout(50 * time.Millisecond)
+	got, ch := collect(b)
+
+	a.Send(b.Addr(), &testMsg{Seq: 1, Body: "first"})
+	waitN(t, ch, 1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for a.OpenConns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("conn never reaped: open=%d", a.OpenConns())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	dialsBefore := a.Dials()
+
+	a.Send(b.Addr(), &testMsg{Seq: 2, Body: "second"})
+	waitN(t, ch, 1)
+	msgs := got()
+	if len(msgs) != 2 || msgs[1].Seq != 2 {
+		t.Fatalf("redial delivery failed: got %+v", msgs)
+	}
+	if a.Dials() != dialsBefore+1 {
+		t.Fatalf("expected exactly one redial, Dials went %d -> %d", dialsBefore, a.Dials())
+	}
+}
+
+// TestActiveConnSurvivesReaper: steady traffic refreshes lastUse, so the
+// reaper must not tear down a connection that is in active use.
+func TestActiveConnSurvivesReaper(t *testing.T) {
+	a := newNode(t, 1)
+	b := newNode(t, 2)
+	a.SetIdleTimeout(60 * time.Millisecond)
+	_, ch := collect(b)
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		a.Send(b.Addr(), &testMsg{Seq: i})
+		waitN(t, ch, 1)
+		time.Sleep(20 * time.Millisecond) // well inside the idle timeout
+	}
+	if got := a.Dials(); got != 1 {
+		t.Fatalf("active conn was reaped mid-traffic: %d dials for %d sends", got, rounds)
+	}
+}
+
+// TestSetIdleTimeoutZeroDisablesReaper: with reaping disabled an idle
+// conn stays cached (the pre-fix behavior, now opt-in).
+func TestSetIdleTimeoutZeroDisablesReaper(t *testing.T) {
+	a := newNode(t, 1)
+	b := newNode(t, 2)
+	a.SetIdleTimeout(0)
+	_, ch := collect(b)
+	a.Send(b.Addr(), &testMsg{Seq: 1})
+	waitN(t, ch, 1)
+	time.Sleep(150 * time.Millisecond)
+	if got := a.OpenConns(); got != 1 {
+		t.Fatalf("OpenConns = %d with reaping disabled, want 1", got)
+	}
+}

@@ -22,7 +22,17 @@ type Sim struct {
 
 // NewSim builds a deployment of n nodes with a converged overlay.
 func NewSim(n int, seed int64) *Sim {
-	return &Sim{c: cluster.New(cluster.Options{N: n, Seed: seed})}
+	return NewSimWorkers(n, seed, 0)
+}
+
+// NewSimWorkers is NewSim with the sharded parallel scheduler: nodes are
+// partitioned into event shards that advance in parallel windows bounded
+// by the network's minimum delivery latency, executed by the given
+// number of worker goroutines. workers=0 keeps the serial scheduler.
+// Runs are deterministic and identical across all worker counts >= 1;
+// only wall-clock speed changes.
+func NewSimWorkers(n int, seed int64, workers int) *Sim {
+	return &Sim{c: cluster.New(cluster.Options{N: n, Seed: seed, Workers: workers})}
 }
 
 // NewSimPaperScale builds a deployment on the paper-scale
@@ -32,8 +42,14 @@ func NewSim(n int, seed int64) *Sim {
 // parallel, so construction does bulk work up front in exchange for a
 // fast simulation afterwards.
 func NewSimPaperScale(n int, seed int64) *Sim {
+	return NewSimPaperScaleWorkers(n, seed, 0)
+}
+
+// NewSimPaperScaleWorkers is NewSimPaperScale with the sharded parallel
+// scheduler (see NewSimWorkers).
+func NewSimPaperScaleWorkers(n int, seed int64, workers int) *Sim {
 	cfg := netmodel.PaperScaleConfig(seed)
-	s := &Sim{c: cluster.New(cluster.Options{N: n, Seed: seed, NetConfig: &cfg})}
+	s := &Sim{c: cluster.New(cluster.Options{N: n, Seed: seed, NetConfig: &cfg, Workers: workers})}
 	s.c.WarmRoutes(nil)
 	return s
 }
@@ -46,6 +62,13 @@ func (s *Sim) Peer(i int) Peer { return s.c.Nodes[i].Ref() }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Time { return s.c.Sim.Now() }
+
+// NodeNow returns node i's own virtual clock. Under the serial
+// scheduler it equals Now; under the sharded scheduler (NewSimWorkers)
+// it is the node's shard clock, the correct timestamp inside a failure
+// handler, which may run while the node's shard is ahead of the global
+// clock.
+func (s *Sim) NodeNow(i int) time.Time { return s.c.Nodes[i].Env.Now() }
 
 // RunFor advances virtual time by d, executing all protocol events due in
 // that window.
