@@ -22,11 +22,16 @@ package main
 import (
 	"bufio"
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"fuse"
@@ -34,12 +39,18 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("name", "", "unique overlay node name (required)")
-		bind  = flag.String("bind", "127.0.0.1:0", "TCP listen address")
-		join  = flag.String("join", "", "bootstrap peer as name@addr")
-		scale = flag.Float64("timescale", 1.0, "protocol timeout multiplier (1.0 = paper's 60s pings)")
+		name        = flag.String("name", "", "unique overlay node name (required)")
+		bind        = flag.String("bind", "127.0.0.1:0", "TCP listen address")
+		join        = flag.String("join", "", "bootstrap peer as name@addr")
+		scale       = flag.Float64("timescale", 1.0, "protocol timeout multiplier (1.0 = paper's 60s pings)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fused: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "fused: -name is required")
 		os.Exit(2)
@@ -59,21 +70,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fused: %v\n", err)
 		os.Exit(1)
 	}
-	defer node.Close()
 	fmt.Printf("fused: %s listening at %s\n", node.Ref().Name, node.Ref().Addr)
 
-	sc := bufio.NewScanner(os.Stdin)
+	if *metricsAddr != "" {
+		reg := node.Telemetry()
+		expvar.Publish("fuse", reg.ExpvarFunc())
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fused: -metrics-addr: %v\n", err)
+			node.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("fused: metrics at http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, reg.ServeMux()) }()
+	}
+
+	// Clean shutdown on SIGINT/SIGTERM (container harness runs stop
+	// nodes with signals, not stdin): close the transport so peers see
+	// a clean connection teardown, and flush a final metrics snapshot
+	// to stderr. stdin EOF and `quit` leave through the same path.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	shutdown := func() {
+		node.Close()
+		fmt.Fprintf(os.Stderr, "fused: final metrics snapshot\n%s", node.Telemetry().RenderTable())
+	}
+
 	for {
 		fmt.Print("> ")
-		if !sc.Scan() {
+		var line string
+		var ok bool
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(os.Stderr, "\nfused: %v, shutting down\n", sig)
+			shutdown()
 			return
+		case line, ok = <-lines:
+			if !ok {
+				shutdown()
+				return
+			}
 		}
-		fields := strings.Fields(sc.Text())
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
 		switch fields[0] {
 		case "quit", "exit":
+			shutdown()
 			return
 		case "peers":
 			for _, p := range node.Neighbors() {

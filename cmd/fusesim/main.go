@@ -33,7 +33,54 @@ import (
 	"fuse"
 	"fuse/internal/cluster"
 	"fuse/internal/scenario"
+	"fuse/internal/telemetry"
 )
+
+// telemetryOpts carries the -trace/-trace-pings/-metrics flags through
+// both run paths (the Figure 9 crash experiment and -scenario).
+type telemetryOpts struct {
+	traceTo string
+	pings   bool
+	metrics bool
+}
+
+// arm sets the trace level before the run; events are only recorded
+// while a level is enabled, so this must precede any protocol activity
+// that should appear in the output.
+func (o telemetryOpts) arm(reg *telemetry.Registry) {
+	if o.traceTo == "" {
+		return
+	}
+	lvl := telemetry.TraceProto
+	if o.pings {
+		lvl = telemetry.TraceVerbose
+	}
+	reg.EnableTrace(lvl)
+}
+
+// finish writes the trace file and prints the metrics snapshot after the
+// run. Both outputs are deterministic for a given seed and worker count
+// (and identical across worker counts), so two runs can be diffed.
+func (o telemetryOpts) finish(reg *telemetry.Registry) {
+	if o.traceTo != "" {
+		f, err := os.Create(o.traceTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := reg.WriteTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("protocol-event trace written to %s\n", o.traceTo)
+	}
+	if o.metrics {
+		fmt.Print("\ntelemetry snapshot:\n" + reg.RenderTable())
+	}
+}
 
 func main() {
 	var (
@@ -49,6 +96,9 @@ func main() {
 		list    = flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
 		dump    = flag.Bool("dump", false, "with -scenario: print the scenario as canonical JSON instead of running it")
 		workers = flag.Int("workers", 0, "sharded parallel scheduler worker goroutines; 0 = serial (traces are identical either way)")
+		traceTo = flag.String("trace", "", "write the protocol-event trace as JSON Lines to this file (deterministic: diff two runs directly)")
+		pings   = flag.Bool("trace-pings", false, "with -trace: include per-ping/ack events (verbose; large)")
+		metrics = flag.Bool("metrics", false, "print the end-of-run telemetry snapshot table")
 	)
 	flag.Parse()
 	if *list {
@@ -80,7 +130,7 @@ func main() {
 			// A .json file carries its own seed; presets default to 1.
 			sp.Seed = *seed
 		}
-		runScenario(*script, sp, *dump)
+		runScenario(*script, sp, *dump, telemetryOpts{traceTo: *traceTo, pings: *pings, metrics: *metrics})
 		return
 	}
 	if *size > *nodes || *crash >= *nodes {
@@ -94,6 +144,8 @@ func main() {
 	} else {
 		sim = fuse.NewSimWorkers(*nodes, *seed, *workers)
 	}
+	topts := telemetryOpts{traceTo: *traceTo, pings: *pings, metrics: *metrics}
+	topts.arm(sim.Telemetry())
 	fmt.Printf("overlay of %d nodes up; creating %d groups of %d...\n", *nodes, *groups, *size)
 
 	rng := newRng(*seed)
@@ -179,13 +231,14 @@ func main() {
 		fmt.Printf("  t=%7.1fs  node %3d notified for group %s\n", ev.at.Seconds(), ev.node, ev.group)
 	}
 	fmt.Printf("\n%d affected groups, %d notifications delivered; none lost.\n", len(affected), len(events))
+	topts.finish(sim.Telemetry())
 }
 
 // runScenario executes a scenario-engine preset or a scenario .json
 // file and prints the deterministic event trace, the per-fault latency
 // attribution, and the invariant harness's verdict. With dump set, it
 // prints the scenario as canonical JSON instead of running it.
-func runScenario(name string, sp scenario.Params, dump bool) {
+func runScenario(name string, sp scenario.Params, dump bool, topts telemetryOpts) {
 	var (
 		c    *cluster.Cluster
 		s    scenario.Script
@@ -232,6 +285,7 @@ func runScenario(name string, sp scenario.Params, dump bool) {
 		os.Stdout.Write(data)
 		return
 	}
+	topts.arm(c.Telemetry)
 	rep, err := scenario.Run(c, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fusesim: scenario %s: %v\n", name, err)
@@ -240,8 +294,15 @@ func runScenario(name string, sp scenario.Params, dump bool) {
 	fmt.Print(rep.Trace)
 	if ft := rep.FaultTable(); ft != "" {
 		fmt.Print("per-fault latency attribution:\n" + ft)
+		// The harness records the same latencies into the telemetry
+		// histogram at audit time; surface its summary next to the table.
+		if n, sum, ok := c.Telemetry.HistogramValue("scenario_detection_latency_ms"); ok && n > 0 {
+			fmt.Printf("detection latency histogram: count=%d mean=%s\n",
+				n, (sum / time.Duration(n)).Round(time.Millisecond))
+		}
 	}
 	fmt.Print(rep.Stats())
+	topts.finish(c.Telemetry)
 	if !rep.OK() {
 		os.Exit(1)
 	}

@@ -13,6 +13,7 @@ import (
 	"fuse/internal/eventsim"
 	"fuse/internal/netmodel"
 	"fuse/internal/overlay"
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 	"fuse/internal/transport/simnet"
 )
@@ -71,6 +72,12 @@ type Cluster struct {
 	Net   *simnet.Net
 	Nodes []*Node
 
+	// Telemetry is the deployment-wide metrics registry and protocol
+	// trace, striped one lane per event shard (lane 0 = control/serial).
+	// Always attached; hot-path cost is per-lane atomic adds. Read at
+	// fences only (or after the run).
+	Telemetry *telemetry.Registry
+
 	overlayCfg overlay.Config
 	fuseCfg    core.Config
 	nextIndex  int
@@ -113,6 +120,7 @@ func New(opts Options) *Cluster {
 	sim := eventsim.New(opts.Seed)
 	topo := netmodel.Generate(netCfg)
 	net := simnet.New(sim, topo, simOpts)
+	lanes := 1
 	if opts.Workers > 0 {
 		shardN := opts.Shards
 		if shardN <= 0 {
@@ -124,11 +132,22 @@ func New(opts Options) *Cluster {
 		}
 		shards := sim.EnableShards(shardN, opts.Workers, lookahead)
 		net.UseShards(shards, func(r netmodel.RouterID) int { return int(r) % shardN })
+		lanes = 1 + shardN
 	}
+	// The lane count is a function of the shard count only (like the
+	// logical event order), so metric snapshots and traces stay
+	// byte-identical across worker counts.
+	reg := telemetry.New(eventsim.Epoch, lanes)
+	reg.CounterFunc("eventsim_events_executed_total",
+		"simulation events executed", func() int64 { return int64(sim.Executed()) })
+	reg.GaugeFunc("eventsim_events_pending",
+		"simulation events scheduled and not yet run", func() int64 { return int64(sim.Pending()) })
+	net.SetTelemetry(reg)
 	c := &Cluster{
 		Sim:        sim,
 		Topo:       topo,
 		Net:        net,
+		Telemetry:  reg,
 		overlayCfg: ovCfg,
 		fuseCfg:    fuseCfg,
 		stores:     make(map[int]core.Persistence),

@@ -44,8 +44,10 @@ func (f *Fuse) addTreeLink(id GroupID, seq uint64, neighbor overlay.NodeRef) {
 // tree link has failed "ceases to acknowledge pings for the given FUSE
 // group along all its links" - concretely, it spreads a SoftNotification
 // to every tree neighbor, drops its delegate state, and, if it is a member
-// or the root, initiates repair.
-func (f *Fuse) linkFailed(id GroupID, from overlay.NodeRef) {
+// or the root, initiates repair. span is the telemetry span of the local
+// observation that triggered this (0 when untraced); the soft spread
+// carries it so downstream deliveries can name their cause.
+func (f *Fuse) linkFailed(id GroupID, from overlay.NodeRef, span uint64) {
 	cs, ok := f.checking[id]
 	if ok {
 		seq := cs.seq
@@ -53,11 +55,11 @@ func (f *Fuse) linkFailed(id GroupID, from overlay.NodeRef) {
 			if l.neighbor.Addr == from.Addr {
 				continue
 			}
-			f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: id, Seq: seq, From: f.self})
+			f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: id, Seq: seq, From: f.self, Trace: span})
 		}
 		f.dropChecking(id)
 	}
-	f.reactToTreeFailure(id)
+	f.reactToTreeFailure(id, span)
 }
 
 // sortedLinks returns a group's tree links in deterministic order, so
@@ -73,13 +75,21 @@ func sortedLinks(cs *checkState) []*treeLink {
 
 // reactToTreeFailure triggers the role-specific response to a broken
 // checking tree: members ask the root to repair, the root repairs
-// directly, delegates do nothing further.
-func (f *Fuse) reactToTreeFailure(id GroupID) {
+// directly, delegates do nothing further. The first non-zero span to
+// reach a role's state sticks as its cause, so a later failure
+// conclusion is attributed to the observation that started it.
+func (f *Fuse) reactToTreeFailure(id GroupID, span uint64) {
 	if rs, ok := f.roots[id]; ok {
+		if rs.cause == 0 {
+			rs.cause = span
+		}
 		f.scheduleRepair(rs)
 		return
 	}
 	if ms, ok := f.members[id]; ok {
+		if ms.cause == 0 {
+			ms.cause = span
+		}
 		f.memberNeedsRepair(ms)
 	}
 }
@@ -88,6 +98,8 @@ func (f *Fuse) reactToTreeFailure(id GroupID) {
 // otherwise forward through the tree, clean up delegate state, and react
 // by role. SoftNotifications never reach the application.
 func (f *Fuse) handleSoft(m *msgSoftNotification) {
+	f.tm.softs.Inc(f.tm.lane)
+	f.trace("soft", m.ID, m.Trace, 0, m.From.Name)
 	cs, ok := f.checking[m.ID]
 	if ok {
 		if m.Seq < cs.seq {
@@ -97,18 +109,18 @@ func (f *Fuse) handleSoft(m *msgSoftNotification) {
 			if l.neighbor.Addr == m.From.Addr {
 				continue
 			}
-			f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: m.ID, Seq: m.Seq, From: f.self})
+			f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: m.ID, Seq: m.Seq, From: f.self, Trace: m.Trace})
 		}
 		f.dropChecking(m.ID)
-		f.reactToTreeFailure(m.ID)
+		f.reactToTreeFailure(m.ID, m.Trace)
 		return
 	}
 	// No checking state: still meaningful for a member or root whose
 	// tree was already torn down.
 	if _, isMember := f.members[m.ID]; isMember {
-		f.reactToTreeFailure(m.ID)
+		f.reactToTreeFailure(m.ID, m.Trace)
 	} else if _, isRoot := f.roots[m.ID]; isRoot {
-		f.reactToTreeFailure(m.ID)
+		f.reactToTreeFailure(m.ID, m.Trace)
 	}
 }
 
@@ -129,11 +141,13 @@ func (f *Fuse) OnRouteMessage(msg transport.Message, info overlay.RouteInfo) {
 		// No next hop toward the root: undo the partial path so the
 		// member re-initiates repair, with backoff at the root
 		// bounding the frequency (§6.5).
+		span := f.tm.lane.NewSpan()
+		f.trace("trigger", ic.ID, span, 0, "route-dead")
 		if !info.Prev.IsZero() {
-			f.env.Send(info.Prev.Addr, &msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self})
+			f.env.Send(info.Prev.Addr, &msgSoftNotification{ID: ic.ID, Seq: ic.Seq, From: f.self, Trace: span})
 		} else {
 			// Died at the origin member itself.
-			f.reactToTreeFailure(ic.ID)
+			f.reactToTreeFailure(ic.ID, span)
 		}
 	case info.Arrived:
 		f.installArrivedAtRoot(ic, info.Prev)
@@ -151,12 +165,15 @@ func (f *Fuse) installArrivedAtRoot(ic *msgInstallChecking, prev overlay.NodeRef
 		if ic.Seq < rs.seq {
 			return // stale generation
 		}
+		f.tm.installs.Inc(f.tm.lane)
+		f.trace("install", ic.ID, 0, 0, ic.Member.Name)
 		delete(rs.installPending, ic.Member.Name)
 		f.addTreeLink(ic.ID, ic.Seq, prev)
 		if len(rs.installPending) == 0 {
 			stopTimer(rs.installTimer)
 			rs.installTimer = nil
 			rs.backoff = f.cfg.RepairBackoffInitial // tree healthy again
+			rs.cause = 0                            // prior observation repaired away
 		}
 		return
 	}
@@ -205,6 +222,8 @@ func (f *Fuse) OnPingPayload(neighbor overlay.NodeRef, payload []byte) {
 		f.resetLinkTimer(ls)
 		return
 	}
+	f.tm.mismatches.Inc(f.tm.lane)
+	f.trace("hash-mismatch", GroupID{}, 0, 0, neighbor.Name)
 	f.sendReconcileProbe(neighbor)
 }
 
@@ -239,7 +258,11 @@ func (f *Fuse) OnNeighborDown(neighbor overlay.NodeRef) {
 	}
 	for _, id := range ls.linkIDs() {
 		if cs, ok := f.checking[id]; ok && cs.links[neighbor.Addr] != nil {
-			f.linkFailed(id, overlay.NodeRef{}) // not triggered by a peer's soft: notify all links
+			span := f.tm.lane.NewSpan()
+			if span != 0 {
+				f.trace("trigger", id, span, 0, "neighbor-down "+neighbor.Name)
+			}
+			f.linkFailed(id, overlay.NodeRef{}, span) // not triggered by a peer's soft: notify all links
 		}
 	}
 }
@@ -289,6 +312,7 @@ func hashGroupIDs(ids []GroupID) []byte {
 // unless they are younger than the grace period, which covers the
 // installation race during group creation.
 func (f *Fuse) handleGroupLists(m *msgGroupLists) {
+	f.tm.reconciles.Inc(f.tm.lane)
 	theirs := make(map[GroupID]bool, len(m.Entries))
 	for _, e := range m.Entries {
 		theirs[e.ID] = true
@@ -309,7 +333,11 @@ func (f *Fuse) handleGroupLists(m *msgGroupLists) {
 			continue // too young to judge: the neighbor may not have installed yet
 		}
 		f.logf("reconciliation: %s not monitored by %s, failing link", id, m.From.Name)
-		f.linkFailed(id, overlay.NodeRef{})
+		span := f.tm.lane.NewSpan()
+		if span != 0 {
+			f.trace("trigger", id, span, 0, "reconcile "+m.From.Name)
+		}
+		f.linkFailed(id, overlay.NodeRef{}, span)
 	}
 	if agreed {
 		if ls, ok := f.links[m.From.Addr]; ok {

@@ -59,6 +59,7 @@ func (f *Fuse) CreateGroup(members []overlay.NodeRef, done func(GroupID, error))
 	for _, m := range others {
 		f.env.Send(m.Addr, &msgGroupCreateRequest{ID: id, Members: members})
 	}
+	f.trace("create", id, 0, 0, "")
 	c.timer = f.env.After(f.cfg.CreateTimeout, func() { f.createTimedOut(c) })
 }
 
@@ -81,6 +82,7 @@ func (f *Fuse) handleCreateRequest(m *msgGroupCreateRequest) {
 // sendInstallChecking routes the member's InstallChecking toward the root
 // and begins monitoring the first link of the path.
 func (f *Fuse) sendInstallChecking(id GroupID, seq uint64) {
+	f.trace("install-send", id, 0, 0, "")
 	first, ok := f.ov.RouteTo(id.Root.Name, &msgInstallChecking{ID: id, Seq: seq, Member: f.self})
 	if !ok {
 		// No overlay path to the root right now. The root's install
@@ -128,6 +130,8 @@ func (f *Fuse) handleCreateReply(m *msgGroupCreateReply) {
 	f.roots[c.id] = rs
 	f.saveRoot(rs)
 	f.armInstallTimer(rs)
+	f.tm.created.Inc(f.tm.lane)
+	f.trace("create-ok", c.id, 0, 0, "")
 	c.done(c.id, nil)
 }
 
@@ -153,9 +157,12 @@ func (f *Fuse) createTimedOut(c *creating) {
 		return
 	}
 	delete(f.creating, c.id)
+	f.tm.createFailed.Inc(f.tm.lane)
+	span := f.tm.lane.NewSpan()
+	f.trace("create-fail", c.id, span, 0, "")
 	missing := 0
 	for _, m := range c.members {
-		f.env.Send(m.Addr, &msgHardNotification{ID: c.id, From: f.self})
+		f.env.Send(m.Addr, &msgHardNotification{ID: c.id, From: f.self, Trace: span})
 		if c.pending[m.Name] {
 			missing++
 		}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"fuse/internal/overlay"
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 )
 
@@ -189,6 +190,27 @@ type Fuse struct {
 
 	// Stats exposed for experiments.
 	notified uint64 // local handler invocations
+
+	tm fuseTelemetry
+}
+
+// fuseTelemetry holds the FUSE layer's metric handles, resolved once at
+// construction (a nil lane makes every write a no-op). Trace events use
+// the same lane; notification spans are allocated at trigger sites,
+// carried on Soft/HardNotification messages, and recorded as the parent
+// of every delivery they cause.
+type fuseTelemetry struct {
+	lane         *telemetry.Lane
+	created      telemetry.Counter
+	createFailed telemetry.Counter
+	installs     telemetry.Counter
+	mismatches   telemetry.Counter
+	reconciles   telemetry.Counter
+	linkTimeouts telemetry.Counter
+	repairs      telemetry.Counter
+	softs        telemetry.Counter
+	hards        telemetry.Counter
+	notices      telemetry.Counter
 }
 
 // creating tracks a CreateGroup in progress at the root.
@@ -221,6 +243,12 @@ type rootState struct {
 	backoff      time.Duration
 	backoffUntil time.Time
 	backoffTimer transport.Timer
+
+	// cause is the telemetry span of the first failure observation that
+	// put this root into repair; a later rootFail's fan-out inherits it
+	// so deliveries chain back to the original trigger. Volatile,
+	// tracing-only, never persisted.
+	cause uint64
 }
 
 // memberState is a non-root member's view of a live group.
@@ -232,6 +260,9 @@ type memberState struct {
 	// repairTimer is armed while waiting for the root to react to our
 	// NeedRepair; its expiry is the member-side failure conclusion.
 	repairTimer transport.Timer
+
+	// cause mirrors rootState.cause for the member-side conclusion.
+	cause uint64
 }
 
 // checkState holds a node's liveness-checking tree links for one group.
@@ -265,6 +296,22 @@ func New(env transport.Env, ov *overlay.Node, cfg Config) *Fuse {
 		checking: make(map[GroupID]*checkState),
 		handlers: make(map[GroupID][]Handler),
 		links:    make(map[transport.Addr]*linkState),
+	}
+	if lane := telemetry.FromEnv(env); lane != nil {
+		reg := lane.Registry()
+		f.tm = fuseTelemetry{
+			lane:         lane,
+			created:      reg.Counter("fuse_groups_created_total", "groups whose creation completed at the root"),
+			createFailed: reg.Counter("fuse_creates_failed_total", "group creations that timed out"),
+			installs:     reg.Counter("fuse_installs_total", "InstallChecking arrivals credited at roots"),
+			mismatches:   reg.Counter("fuse_hash_mismatch_total", "piggyback-hash mismatches observed on pings"),
+			reconciles:   reg.Counter("fuse_reconciliations_total", "GroupLists reconciliation exchanges handled"),
+			linkTimeouts: reg.Counter("fuse_link_timeouts_total", "per-link CheckTimeout expiries"),
+			repairs:      reg.Counter("fuse_repairs_total", "root repair attempts started"),
+			softs:        reg.Counter("fuse_soft_notifications_total", "SoftNotifications received"),
+			hards:        reg.Counter("fuse_hard_notifications_total", "HardNotifications received"),
+			notices:      reg.Counter("fuse_notices_delivered_total", "application failure handlers invoked"),
+		}
 	}
 	ov.SetClient(f)
 	return f
@@ -336,7 +383,7 @@ func (f *Fuse) RegisterFailureHandler(h Handler, id GroupID) {
 	if _, isRoot := f.roots[id]; !isRoot {
 		if _, isMember := f.members[id]; !isMember {
 			if _, inCreate := f.creating[id]; !inCreate {
-				f.env.After(0, func() { f.deliverNotice(h, Notice{ID: id, Reason: ReasonNotified}) })
+				f.env.After(0, func() { f.deliverNotice(h, Notice{ID: id, Reason: ReasonNotified}, 0) })
 				return
 			}
 		}
@@ -353,8 +400,10 @@ func (f *Fuse) SignalFailure(id GroupID) {
 		return
 	}
 	if _, ok := f.members[id]; ok {
-		f.env.Send(id.Root.Addr, &msgHardNotification{ID: id, From: f.self})
-		f.notifyLocal(id, ReasonSignaled)
+		span := f.tm.lane.NewSpan()
+		f.trace("trigger", id, span, 0, "signaled")
+		f.env.Send(id.Root.Addr, &msgHardNotification{ID: id, From: f.self, Trace: span})
+		f.notifyLocal(id, ReasonSignaled, span)
 		f.teardown(id)
 		return
 	}
@@ -366,8 +415,27 @@ func (f *Fuse) logf(format string, args ...any) {
 	f.env.Logf("fuse %s: %s", f.self.Name, fmt.Sprintf(format, args...))
 }
 
+// tracing gates protocol-event emission; call before building any event
+// argument that costs an allocation.
+func (f *Fuse) tracing() bool { return f.tm.lane.Tracing(telemetry.TraceProto) }
+
+// trace emits one protocol event. The group string is only formatted
+// when the trace is live, so disabled tracing costs one atomic load.
+func (f *Fuse) trace(kind string, id GroupID, span, parent uint64, detail string) {
+	if !f.tracing() {
+		return
+	}
+	group := ""
+	if !id.IsZero() {
+		group = id.String()
+	}
+	f.tm.lane.Emit(f.env.Now(), kind, f.self.Name, group, span, parent, detail)
+}
+
 // notifyLocal invokes and clears all handlers for id, exactly once.
-func (f *Fuse) notifyLocal(id GroupID, reason Reason) {
+// span is the causal trigger's trace span (0 when untraced or unknown);
+// each delivery event records it as Parent.
+func (f *Fuse) notifyLocal(id GroupID, reason Reason, span uint64) {
 	hs := f.handlers[id]
 	delete(f.handlers, id)
 	if len(hs) == 0 {
@@ -375,12 +443,14 @@ func (f *Fuse) notifyLocal(id GroupID, reason Reason) {
 	}
 	n := Notice{ID: id, Reason: reason}
 	for _, h := range hs {
-		f.deliverNotice(h, n)
+		f.deliverNotice(h, n, span)
 	}
 }
 
-func (f *Fuse) deliverNotice(h Handler, n Notice) {
+func (f *Fuse) deliverNotice(h Handler, n Notice, span uint64) {
 	f.notified++
+	f.tm.notices.Inc(f.tm.lane)
+	f.trace("notify", n.ID, 0, span, string(n.Reason))
 	h(n)
 }
 

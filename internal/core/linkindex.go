@@ -160,9 +160,14 @@ func (f *Fuse) linkTimedOut(ls *linkState) {
 		return // emptied or replaced while the callback was in flight
 	}
 	f.logf("check timeout for link %s (%d groups)", ls.neighbor.Name, len(ls.groups))
+	f.tm.linkTimeouts.Inc(f.tm.lane)
 	for _, id := range ls.linkIDs() {
 		if cs, ok := f.checking[id]; ok && cs.links[ls.neighbor.Addr] != nil {
-			f.linkFailed(id, ls.neighbor)
+			span := f.tm.lane.NewSpan()
+			if span != 0 {
+				f.trace("trigger", id, span, 0, "link-timeout "+ls.neighbor.Name)
+			}
+			f.linkFailed(id, ls.neighbor, span)
 		}
 	}
 }

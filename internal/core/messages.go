@@ -41,6 +41,12 @@ type msgSoftNotification struct {
 	ID   GroupID
 	Seq  uint64
 	From overlay.NodeRef
+	// Trace is the telemetry span of the failure observation that
+	// started this spread; 0 when tracing is off. Carried for causal
+	// trigger→delivery chains only — never read by protocol logic.
+	// (gob is self-describing, so the added field stays wire-compatible
+	// within a run, the repo's stated compatibility bound.)
+	Trace uint64
 }
 
 // msgHardNotification is the application-visible failure notification,
@@ -49,6 +55,8 @@ type msgHardNotification struct {
 	body
 	ID   GroupID
 	From overlay.NodeRef
+	// Trace carries the causal span like msgSoftNotification.Trace.
+	Trace uint64
 }
 
 // msgNeedRepair is a member's direct request that the root rebuild the

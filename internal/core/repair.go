@@ -22,8 +22,10 @@ func (f *Fuse) memberNeedsRepair(ms *memberState) {
 		// alive behind an asymmetric failure, it will fan out the
 		// notification.
 		f.logf("member repair timeout for %s", ms.id)
-		f.env.Send(ms.root.Addr, &msgHardNotification{ID: ms.id, From: f.self})
-		f.notifyLocal(ms.id, ReasonRepairTimeout)
+		span := ms.cause
+		f.trace("member-timeout", ms.id, span, 0, "")
+		f.env.Send(ms.root.Addr, &msgHardNotification{ID: ms.id, From: f.self, Trace: span})
+		f.notifyLocal(ms.id, ReasonRepairTimeout, span)
 		f.teardown(ms.id)
 	})
 }
@@ -70,6 +72,8 @@ func (f *Fuse) startRepair(rs *rootState) {
 	rs.seq++
 	f.saveRoot(rs)
 	f.logf("repair %s seq=%d", rs.id, rs.seq)
+	f.tm.repairs.Inc(f.tm.lane)
+	f.trace("repair", rs.id, rs.cause, 0, "")
 
 	// Update the backoff window for the *next* attempt.
 	if rs.backoff < f.cfg.RepairBackoffInitial {
@@ -117,9 +121,10 @@ func (f *Fuse) handleRepairRequest(m *msgGroupRepairRequest) {
 	ms.seq = m.Seq
 	f.saveMember(ms)
 	// The root is alive and repairing: stand down the member-side
-	// failure timer.
+	// failure timer (and the failure attribution it carried).
 	stopTimer(ms.repairTimer)
 	ms.repairTimer = nil
+	ms.cause = 0
 
 	// Replace our old view of the tree with the new generation.
 	f.dropChecking(m.ID)
@@ -146,26 +151,35 @@ func (f *Fuse) handleRepairReply(m *msgGroupRepairReply) {
 
 // rootFail is the root-side failure fan-out: notify the application here,
 // send HardNotifications to every member, and sweep the checking tree
-// with SoftNotifications (the proactive cleanup of Figure 4).
+// with SoftNotifications (the proactive cleanup of Figure 4). The
+// fan-out inherits the span of the observation that drove the root here
+// (or allocates one for a direct trigger like SignalFailure), so every
+// member's delivery chains back to the same trigger event.
 func (f *Fuse) rootFail(rs *rootState, reason Reason) {
-	for _, m := range rs.members {
-		f.env.Send(m.Addr, &msgHardNotification{ID: rs.id, From: f.self})
+	span := rs.cause
+	if span == 0 {
+		span = f.tm.lane.NewSpan()
+		f.trace("trigger", rs.id, span, 0, string(reason))
 	}
-	f.softSweep(rs.id)
-	f.notifyLocal(rs.id, reason)
+	f.trace("hard-fanout", rs.id, span, 0, string(reason))
+	for _, m := range rs.members {
+		f.env.Send(m.Addr, &msgHardNotification{ID: rs.id, From: f.self, Trace: span})
+	}
+	f.softSweep(rs.id, span)
+	f.notifyLocal(rs.id, reason, span)
 	f.teardown(rs.id)
 }
 
 // softSweep sends SoftNotifications along all current tree links to clean
 // delegate state proactively.
-func (f *Fuse) softSweep(id GroupID) {
+func (f *Fuse) softSweep(id GroupID, span uint64) {
 	cs, ok := f.checking[id]
 	if !ok {
 		return
 	}
 	seq := cs.seq + 1 // strictly newer than any installed generation
 	for _, l := range sortedLinks(cs) {
-		f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: id, Seq: seq, From: f.self})
+		f.env.Send(l.neighbor.Addr, &msgSoftNotification{ID: id, Seq: seq, From: f.self, Trace: span})
 	}
 }
 
@@ -173,20 +187,22 @@ func (f *Fuse) softSweep(id GroupID) {
 // root fans it to all members; every receiver fires its handler exactly
 // once and tears down group state.
 func (f *Fuse) handleHard(m *msgHardNotification) {
+	f.tm.hards.Inc(f.tm.lane)
 	if rs, ok := f.roots[m.ID]; ok {
+		f.trace("hard-fanout", m.ID, m.Trace, 0, m.From.Name)
 		for _, mem := range rs.members {
 			if mem.Addr == m.From.Addr {
 				continue // the signaller already knows
 			}
-			f.env.Send(mem.Addr, &msgHardNotification{ID: m.ID, From: f.self})
+			f.env.Send(mem.Addr, &msgHardNotification{ID: m.ID, From: f.self, Trace: m.Trace})
 		}
-		f.softSweep(m.ID)
-		f.notifyLocal(m.ID, ReasonNotified)
+		f.softSweep(m.ID, m.Trace)
+		f.notifyLocal(m.ID, ReasonNotified, m.Trace)
 		f.teardown(m.ID)
 		return
 	}
 	if _, ok := f.members[m.ID]; ok {
-		f.notifyLocal(m.ID, ReasonNotified)
+		f.notifyLocal(m.ID, ReasonNotified, m.Trace)
 		f.teardown(m.ID)
 		return
 	}
@@ -196,7 +212,7 @@ func (f *Fuse) handleHard(m *msgHardNotification) {
 		delete(f.creating, m.ID)
 		for _, mem := range c.members {
 			if mem.Addr != m.From.Addr {
-				f.env.Send(mem.Addr, &msgHardNotification{ID: m.ID, From: f.self})
+				f.env.Send(mem.Addr, &msgHardNotification{ID: m.ID, From: f.self, Trace: m.Trace})
 			}
 		}
 		f.dropChecking(m.ID)

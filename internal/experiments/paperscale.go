@@ -201,6 +201,7 @@ func PaperScaleSimulation(p Params) (*Result, error) {
 	r.metric("notify_median_s", lat.Median())
 	r.metric("notify_max_s", lat.Max())
 	r.metric("workers", float64(p.Workers))
+	r.Telemetry = c.Telemetry.RenderTable()
 	return r, nil
 }
 

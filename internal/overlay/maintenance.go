@@ -3,6 +3,7 @@ package overlay
 import (
 	"time"
 
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 )
 
@@ -104,9 +105,10 @@ func (n *Node) removeRef(addr transport.Addr) bool {
 // every period.
 type pingState struct {
 	ref      NodeRef
-	seq      uint64 // seq of the last ping sent
-	ackSeq   uint64 // seq of the last matching ack received
-	awaiting bool   // between a send and its ack deadline
+	seq      uint64    // seq of the last ping sent
+	ackSeq   uint64    // seq of the last matching ack received
+	sentAt   time.Time // when the last ping went out (RTT base)
+	awaiting bool      // between a send and its ack deadline
 	timer    transport.Timer
 }
 
@@ -175,7 +177,12 @@ func (n *Node) pingTick(ps *pingState) {
 	m := newMsgPing()
 	m.From, m.Seq, m.Payload = n.self, ps.seq, n.client.PingPayload(ps.ref)
 	n.env.Send(ps.ref.Addr, m)
+	ps.sentAt = n.env.Now()
 	ps.awaiting = true
+	n.tm.pingsSent.Inc(n.tm.lane)
+	if n.tm.lane.Tracing(telemetry.TraceVerbose) {
+		n.tm.lane.Emit(ps.sentAt, "ping", n.self.Name, "", 0, 0, ps.ref.Name)
+	}
 	n.rearm(ps, n.cfg.PingTimeout)
 }
 
@@ -190,6 +197,7 @@ func (n *Node) rearm(ps *pingState, d time.Duration) {
 }
 
 func (n *Node) handlePing(m *msgPing) {
+	n.tm.pingsRecv.Inc(n.tm.lane)
 	n.client.OnPingPayload(m.From, m.Payload)
 	ack := newMsgPingAck()
 	ack.From, ack.Seq = n.self, m.Seq
@@ -202,6 +210,11 @@ func (n *Node) handlePingAck(m *msgPingAck) {
 		return
 	}
 	ps.ackSeq = m.Seq
+	n.tm.acksRecv.Inc(n.tm.lane)
+	n.tm.rtt.Observe(n.tm.lane, n.env.Now().Sub(ps.sentAt))
+	if n.tm.lane.Tracing(telemetry.TraceVerbose) {
+		n.tm.lane.Emit(n.env.Now(), "ack", n.self.Name, "", 0, 0, ps.ref.Name)
+	}
 }
 
 // neighborDead handles a failed liveness check: report to the client,
@@ -214,6 +227,10 @@ func (n *Node) neighborDead(ref NodeRef) {
 		return
 	}
 	n.logf("neighbor %s dead", ref.Name)
+	n.tm.neighborsDead.Inc(n.tm.lane)
+	if n.tm.lane.Tracing(telemetry.TraceProto) {
+		n.tm.lane.Emit(n.env.Now(), "neighbor-dead", n.self.Name, "", 0, 0, ref.Name)
+	}
 	n.client.OnNeighborDown(ref)
 
 	// Remember which ring levels pointed at the dead node before

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 )
 
@@ -168,6 +169,20 @@ type Node struct {
 
 	// stats
 	routedSent uint64
+
+	tm ovTelemetry
+}
+
+// ovTelemetry holds the overlay's metric handles, resolved once at
+// construction. A nil lane (no registry behind the env) makes every
+// write a single-branch no-op.
+type ovTelemetry struct {
+	lane          *telemetry.Lane
+	pingsSent     telemetry.Counter
+	pingsRecv     telemetry.Counter
+	acksRecv      telemetry.Counter
+	neighborsDead telemetry.Counter
+	rtt           telemetry.Histogram
 }
 
 type searchKey struct {
@@ -191,6 +206,17 @@ func New(env transport.Env, cfg Config, name string) *Node {
 		lefts:    make([]NodeRef, cfg.MaxLevels+1),
 		pings:    make(map[transport.Addr]*pingState),
 		searches: make(map[searchKey]bool),
+	}
+	if lane := telemetry.FromEnv(env); lane != nil {
+		reg := lane.Registry()
+		n.tm = ovTelemetry{
+			lane:          lane,
+			pingsSent:     reg.Counter("overlay_pings_sent_total", "liveness pings sent"),
+			pingsRecv:     reg.Counter("overlay_pings_received_total", "liveness pings received"),
+			acksRecv:      reg.Counter("overlay_ping_acks_total", "ping acks received in time"),
+			neighborsDead: reg.Counter("overlay_neighbor_deaths_total", "liveness checks declaring a neighbor dead"),
+			rtt:           reg.Histogram("overlay_ping_rtt_ms", "ping round-trip time"),
+		}
 	}
 	return n
 }

@@ -254,6 +254,24 @@ func (e *Engine) check() *Report {
 	}
 	r.Faults = e.faultSchedule()
 	r.Trace = trace
+
+	// Detection latency (fault → last attributed delegate notice) as a
+	// telemetry histogram, observed on the control lane at audit time —
+	// the same fence discipline as the sink merge, so sharded runs stay
+	// byte-identical across worker counts. This is the continuously
+	// observable form of the aggregated-deadline fairness bound
+	// (linkindex.go): a fault's latency can exceed the per-fault ideal
+	// by up to one CheckTimeout when its group rides a quiet link.
+	if reg := e.c.Telemetry; reg != nil {
+		h := reg.Histogram("scenario_detection_latency_ms",
+			"per-fault detection latency: fault to last attributed notice")
+		lane := reg.Lane(0)
+		for _, f := range r.Faults {
+			if f.Notices > 0 {
+				h.Observe(lane, f.Latency)
+			}
+		}
+	}
 	return r
 }
 

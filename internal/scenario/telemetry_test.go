@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"fuse/internal/telemetry"
+)
+
+// Telemetry determinism pins: the metric snapshot and the protocol-event
+// trace are part of the run's observable behaviour, so they must be
+// byte-identical across worker counts just like the harness trace.
+
+// runPresetTelemetry runs a preset with proto-level tracing enabled and
+// returns the report plus the rendered snapshot and JSONL trace.
+func runPresetTelemetry(t *testing.T, name string, workers int) (*Report, string, string, *telemetry.Registry) {
+	t.Helper()
+	c, s, err := BuildPreset(name, Params{Seed: 5, Short: true, Workers: workers})
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	c.Telemetry.EnableTrace(telemetry.TraceProto)
+	r, err := Run(c, s)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	var tr strings.Builder
+	if err := c.Telemetry.WriteTrace(&tr); err != nil {
+		t.Fatalf("%s workers=%d: WriteTrace: %v", name, workers, err)
+	}
+	return r, c.Telemetry.RenderTable(), tr.String(), c.Telemetry
+}
+
+// TestTelemetryShardedDeterminism requires the end-of-run metric
+// snapshot and the merged event trace to be byte-identical at workers=1
+// and workers=4 for the churn and partition-heal drills. Lane slabs are
+// laid out by shard (a function of shard count, not worker count) and
+// merged by summation; the event merge orders by (virtual time, lane,
+// FIFO) - none of which may depend on scheduling.
+func TestTelemetryShardedDeterminism(t *testing.T) {
+	for _, name := range []string{"churn", "partition-heal"} {
+		t.Run(name, func(t *testing.T) {
+			r1, tab1, tr1, _ := runPresetTelemetry(t, name, 1)
+			if !r1.OK() {
+				t.Fatalf("workers=1 run violated invariants:\n%s", r1.Stats())
+			}
+			if !strings.Contains(tab1, "fuse_notices_delivered_total") {
+				t.Fatalf("snapshot missing protocol counters:\n%s", tab1)
+			}
+			if tr1 == "" {
+				t.Fatal("workers=1 produced an empty event trace")
+			}
+			r4, tab4, tr4, _ := runPresetTelemetry(t, name, 4)
+			if !r4.OK() {
+				t.Fatalf("workers=4 run violated invariants:\n%s", r4.Stats())
+			}
+			if tab1 != tab4 {
+				t.Fatalf("metric snapshots differ across worker counts\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", tab1, tab4)
+			}
+			if tr1 != tr4 {
+				t.Fatalf("event traces differ across worker counts\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+					head(tr1, 40), head(tr4, 40))
+			}
+		})
+	}
+}
+
+// TestTelemetrySpanChainReconstruction is the causal-tracing acceptance
+// pin: a partition-heal run's trace must contain at least one delivered
+// notification whose parent span resolves to a recorded trigger event -
+// the full observation -> propagation -> delivery chain survives hops
+// through soft/hard notification messages.
+func TestTelemetrySpanChainReconstruction(t *testing.T) {
+	_, _, _, reg := runPresetTelemetry(t, "partition-heal", 4)
+	triggers := make(map[uint64]telemetry.Event)
+	var chained, notifies int
+	for _, ev := range reg.Events() {
+		if ev.Kind == "trigger" && ev.Span != 0 {
+			triggers[ev.Span] = ev
+		}
+	}
+	for _, ev := range reg.Events() {
+		if ev.Kind != "notify" {
+			continue
+		}
+		notifies++
+		tg, ok := triggers[ev.Parent]
+		if !ok {
+			continue
+		}
+		chained++
+		if ev.At < tg.At {
+			t.Fatalf("notification at %s precedes its trigger at %s", ev.At, tg.At)
+		}
+		if tg.Group != ev.Group {
+			t.Fatalf("trigger group %s != notification group %s", tg.Group, ev.Group)
+		}
+	}
+	if notifies == 0 {
+		t.Fatal("no notify events in the partition-heal trace")
+	}
+	if chained == 0 {
+		t.Fatalf("no notification's parent span resolved to a trigger (%d notifies, %d triggers)",
+			notifies, len(triggers))
+	}
+}
+
+// TestDetectionLatencyHistogram checks the harness's audit-time
+// histogram: every fault that caused notifications contributes one
+// observation, and the sum reflects the per-fault latencies.
+func TestDetectionLatencyHistogram(t *testing.T) {
+	r, _, _, reg := runPresetTelemetry(t, "partition-heal", 0)
+	want := 0
+	for _, f := range r.Faults {
+		if f.Notices > 0 {
+			want++
+		}
+	}
+	n, sum, ok := reg.HistogramValue("scenario_detection_latency_ms")
+	if !ok {
+		t.Fatal("scenario_detection_latency_ms not registered")
+	}
+	if int(n) != want || want == 0 {
+		t.Fatalf("histogram count %d, want %d (faults with notices)", n, want)
+	}
+	if sum <= 0 {
+		t.Fatalf("histogram sum %s, want > 0", sum)
+	}
+}

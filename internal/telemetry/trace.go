@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Level gates trace-event emission. The default is TraceOff: metric
+// writes stay on but Emit is a nil check. TraceProto records protocol
+// events only (group create/install, hash mismatch, link timeout,
+// notification trigger→delivery) — these never fire in steady state, so
+// the ping cycle stays 0 allocs/op with tracing at TraceProto.
+// TraceVerbose adds per-ping/ack events and is for short diagnostic
+// runs only.
+type Level int32
+
+const (
+	TraceOff Level = iota
+	TraceProto
+	TraceVerbose
+)
+
+// EnableTrace sets the trace level. Call before the run (or at a
+// fence); the level is read atomically at every emission site.
+func (r *Registry) EnableTrace(l Level) { r.level.Store(int32(l)) }
+
+// TraceLevel reports the current level.
+func (r *Registry) TraceLevel() Level { return Level(r.level.Load()) }
+
+// Tracing reports whether events at the given level are being
+// recorded. Call sites gate on this before formatting event fields so
+// a disabled trace costs one atomic load and nothing else.
+func (l *Lane) Tracing(min Level) bool {
+	return l != nil && Level(l.reg.level.Load()) >= min
+}
+
+// Event is one structured protocol-trace record. At is relative to the
+// registry epoch (virtual time in sim, wall time since process start in
+// live). Span/Parent link notification trigger→delivery chains: the
+// trigger event allocates a span ID, notification messages carry it
+// across the wire, and each delivery records it as Parent.
+type Event struct {
+	At     time.Duration
+	Lane   int
+	Kind   string
+	Node   string
+	Group  string
+	Span   uint64
+	Parent uint64
+	Detail string
+}
+
+// Emit appends one event to the lane's buffer. The caller must have
+// checked Tracing (Emit re-checks, so a race on shutdown is safe, but
+// argument construction is the expensive part). Timestamps are taken
+// from the owning clock by the caller.
+func (l *Lane) Emit(at time.Time, kind, node, group string, span, parent uint64, detail string) {
+	if l == nil || Level(l.reg.level.Load()) == TraceOff {
+		return
+	}
+	l.events = append(l.events, Event{
+		At:     at.Sub(l.reg.epoch),
+		Lane:   l.id,
+		Kind:   kind,
+		Node:   node,
+		Group:  group,
+		Span:   span,
+		Parent: parent,
+		Detail: detail,
+	})
+}
+
+// NewSpan allocates a deterministic span ID: the lane index tags the
+// high bits and a per-lane sequence the low bits, so IDs are unique
+// across lanes and reproducible for a given shard count (the per-lane
+// event order is deterministic, exactly like eventsim's logical order).
+// Returns 0 — "no span" — when tracing is off, so untraced runs carry
+// zeroes on the wire.
+func (l *Lane) NewSpan() uint64 {
+	if l == nil || Level(l.reg.level.Load()) == TraceOff {
+		return 0
+	}
+	l.spanSeq++
+	return uint64(l.id+1)<<32 | l.spanSeq
+}
+
+// Events k-way merges every lane's buffer by (timestamp, lane, FIFO) —
+// the scenario sink merge order — yielding a sequence that is
+// byte-identical across worker counts for a fixed shard count.
+func (r *Registry) Events() []Event {
+	idx := make([]int, len(r.lanes))
+	var total int
+	for _, l := range r.lanes {
+		total += len(l.events)
+	}
+	out := make([]Event, 0, total)
+	for {
+		best := -1
+		for li, l := range r.lanes {
+			if idx[li] >= len(l.events) {
+				continue
+			}
+			if best == -1 || l.events[idx[li]].At < r.lanes[best].events[idx[best]].At {
+				best = li
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, r.lanes[best].events[idx[best]])
+		idx[best]++
+	}
+}
+
+// traceLine is the JSONL schema (field order is the struct order, so
+// output is byte-deterministic).
+type traceLine struct {
+	T      float64 `json:"t"`
+	Lane   int     `json:"lane"`
+	Kind   string  `json:"kind"`
+	Node   string  `json:"node,omitempty"`
+	Group  string  `json:"group,omitempty"`
+	Span   uint64  `json:"span,omitempty"`
+	Parent uint64  `json:"parent,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// WriteTrace writes the merged event stream as JSON Lines: one event
+// per line, `t` in seconds since the epoch. The output is deterministic
+// and diff-able across runs (and convertible to the Chrome trace-event
+// format; see README "Observability").
+func (r *Registry) WriteTrace(w io.Writer) error {
+	for _, e := range r.Events() {
+		b, err := json.Marshal(traceLine{
+			T:      e.At.Seconds(),
+			Lane:   e.Lane,
+			Kind:   e.Kind,
+			Node:   e.Node,
+			Group:  e.Group,
+			Span:   e.Span,
+			Parent: e.Parent,
+			Detail: e.Detail,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ import (
 
 	"fuse/internal/eventsim"
 	"fuse/internal/netmodel"
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 )
 
@@ -107,6 +108,28 @@ type Net struct {
 	// In sharded mode it runs on the destination's worker goroutine and
 	// must only touch per-shard state.
 	OnDeliver func(from, to transport.Addr, msg transport.Message)
+
+	// telemetry, when attached, hands each node the registry lane
+	// matching its event shard (lane 1+shard, or lane 0 in serial mode)
+	// via the transport-level LaneProvider interface.
+	telemetry *telemetry.Registry
+}
+
+// SetTelemetry attaches a registry: nodes added before or after resolve
+// their stripe through TelemetryLane, and the network's own per-slot
+// message counters are exported as snapshot-time collectors (no second
+// counter on the send/deliver hot path). Call before the run starts.
+func (n *Net) SetTelemetry(reg *telemetry.Registry) {
+	n.telemetry = reg
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("simnet_messages_sent_total",
+		"messages handed to the simulated network", func() int64 { return int64(n.Sent()) })
+	reg.CounterFunc("simnet_messages_delivered_total",
+		"messages delivered to a live handler", func() int64 { return int64(n.Delivered()) })
+	reg.CounterFunc("simnet_messages_dropped_total",
+		"messages dropped (crashed/detached/partitioned destinations)", func() int64 { return int64(n.Dropped()) })
 }
 
 // netSlot is one shard's stripe of the network's mutable steady state.
@@ -217,6 +240,21 @@ type node struct {
 	// topology path to it. Attachment points never move (Restart keeps the
 	// router), so entries stay valid for the life of the network.
 	routes map[transport.Addr]route
+}
+
+// TelemetryLane implements telemetry.LaneProvider: the node's metric
+// stripe is the registry lane matching its event shard, so hot-path
+// writes stay worker-local and merged snapshots are byte-identical
+// across worker counts (lane layout depends on the shard count only).
+func (nd *node) TelemetryLane() *telemetry.Lane {
+	reg := nd.net.telemetry
+	if reg == nil {
+		return nil
+	}
+	if nd.shard != nil {
+		return reg.Lane(1 + nd.slot)
+	}
+	return reg.Lane(0)
 }
 
 // route is one resolved destination in a node's send cache.

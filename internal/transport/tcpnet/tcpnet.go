@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 )
 
@@ -59,7 +60,51 @@ type Node struct {
 
 	idleTimeout atomic.Int64 // ns; <= 0 disables the reaper
 	openOut     atomic.Int64 // outbound TCP connections currently open
+	evictions   atomic.Uint64
+
+	// tele is the process-wide telemetry registry (lane 0 — live nodes
+	// have no shards). Atomic because the reaper and writer goroutines
+	// are already running when SetTelemetry is called.
+	tele atomic.Pointer[telemetry.Registry]
 }
+
+// SetTelemetry attaches a registry: the node's protocol stack resolves
+// lane 0 through TelemetryLane, and the connection-cache state the PR 9
+// fd-leak fix manages (open sockets, cached entries, idle evictions,
+// dials) is exported as snapshot-time collectors. One registry per
+// process: a second node attached to the same registry replaces the
+// collector closures.
+func (n *Node) SetTelemetry(reg *telemetry.Registry) {
+	n.tele.Store(reg)
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("tcpnet_open_conns",
+		"outbound TCP connections currently open", func() int64 { return int64(n.OpenConns()) })
+	reg.GaugeFunc("tcpnet_cached_conns",
+		"entries in the outbound connection cache", func() int64 { return int64(n.CachedConns()) })
+	reg.CounterFunc("tcpnet_idle_evictions_total",
+		"cached connections closed by the idle reaper", func() int64 { return int64(n.evictions.Load()) })
+	reg.CounterFunc("tcpnet_dials_total",
+		"outbound TCP connection attempts", func() int64 { return int64(n.Dials()) })
+	reg.CounterFunc("tcpnet_messages_sent_total",
+		"messages accepted for sending", func() int64 { return int64(n.Sent()) })
+	reg.CounterFunc("tcpnet_messages_delivered_total",
+		"messages handed to the handler", func() int64 { return int64(n.Delivered()) })
+}
+
+// TelemetryLane implements telemetry.LaneProvider; live nodes write
+// lane 0 (there is one stripe per process, and writes are atomic).
+func (n *Node) TelemetryLane() *telemetry.Lane {
+	reg := n.tele.Load()
+	if reg == nil {
+		return nil
+	}
+	return reg.Lane(0)
+}
+
+// Evictions reports cached connections the idle reaper has closed.
+func (n *Node) Evictions() uint64 { return n.evictions.Load() }
 
 // outConn is a cached outbound connection with a writer goroutine. Sends
 // enqueue onto ch; the writer dials lazily and drops everything on error.
@@ -499,6 +544,7 @@ func (n *Node) reapIdle(now time.Time) {
 		if now.Sub(c.lastUse) >= timeout {
 			delete(n.conns, to)
 			close(c.ch)
+			n.evictions.Add(1)
 		}
 	}
 	n.mu.Unlock()

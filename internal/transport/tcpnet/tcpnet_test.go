@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 )
 
@@ -455,6 +456,8 @@ func TestIdleConnsAreReaped(t *testing.T) {
 	const peers = 8
 	sender := newNode(t, 1)
 	sender.SetIdleTimeout(80 * time.Millisecond)
+	reg := telemetry.New(time.Now(), 1)
+	sender.SetTelemetry(reg)
 
 	var acks [peers]<-chan struct{}
 	for i := 0; i < peers; i++ {
@@ -479,6 +482,18 @@ func TestIdleConnsAreReaped(t *testing.T) {
 				sender.OpenConns(), sender.CachedConns())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The telemetry collectors track the same state: the gauges read
+	// zero after the reap and each eviction was counted.
+	if v, ok := reg.Value("tcpnet_open_conns"); !ok || v != 0 {
+		t.Fatalf("tcpnet_open_conns gauge = %d, %v; want 0", v, ok)
+	}
+	if v, ok := reg.Value("tcpnet_cached_conns"); !ok || v != 0 {
+		t.Fatalf("tcpnet_cached_conns gauge = %d, %v; want 0", v, ok)
+	}
+	if v, _ := reg.Value("tcpnet_idle_evictions_total"); v != peers {
+		t.Fatalf("tcpnet_idle_evictions_total = %d, want %d", v, peers)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"fuse/internal/core"
 	"fuse/internal/overlay"
+	"fuse/internal/telemetry"
 	"fuse/internal/transport"
 	"fuse/internal/transport/tcpnet"
 )
@@ -41,6 +42,7 @@ type Node struct {
 	ov   *overlay.Node
 	fuse *core.Fuse
 	self Peer
+	tele *telemetry.Registry
 }
 
 // Start launches a live node: it binds the listener, joins the overlay
@@ -62,12 +64,17 @@ func Start(cfg NodeConfig) (*Node, error) {
 		tn.SetLogf(cfg.Logf)
 	}
 
+	// Live telemetry: one lane, wall-clock epoch, attached before the
+	// protocol stacks are built so they resolve it from the env.
+	reg := telemetry.New(time.Now(), 1)
+	tn.SetTelemetry(reg)
+
 	ovCfg := overlay.DefaultConfig().Scale(scale)
 	fuCfg := core.DefaultConfig().Scale(scale)
 
 	ov := overlay.New(tn, ovCfg, cfg.Name)
 	fu := core.New(tn, ov, fuCfg)
-	n := &Node{tn: tn, ov: ov, fuse: fu, self: ov.Self()}
+	n := &Node{tn: tn, ov: ov, fuse: fu, self: ov.Self(), tele: reg}
 	tn.SetHandler(func(from transport.Addr, msg transport.Message) {
 		if ov.Handle(from, msg) {
 			return
@@ -89,6 +96,10 @@ func (n *Node) post(fn func()) { n.tn.After(0, fn) }
 // Ref returns this node's identity, suitable for other nodes' member
 // lists and Bootstrap fields.
 func (n *Node) Ref() Peer { return n.self }
+
+// Telemetry exposes the node's metrics registry (fused serves it over
+// HTTP and flushes a final snapshot on shutdown).
+func (n *Node) Telemetry() *telemetry.Registry { return n.tele }
 
 // CreateGroup creates a FUSE group over members (this node is always
 // included) and blocks until creation completes: on success every member

@@ -7,6 +7,7 @@ import (
 	"fuse/internal/core"
 	"fuse/internal/netmodel"
 	"fuse/internal/overlay"
+	"fuse/internal/telemetry"
 )
 
 // Sim is a deterministic in-process FUSE deployment: n nodes on a
@@ -56,6 +57,12 @@ func NewSimPaperScaleWorkers(n int, seed int64, workers int) *Sim {
 
 // Nodes returns the deployment size.
 func (s *Sim) Nodes() int { return len(s.c.Nodes) }
+
+// Telemetry exposes the deployment's metrics registry and protocol-event
+// trace (fusesim's -metrics and -trace surfaces). Snapshots and trace
+// merges are deterministic: identical across worker counts for the same
+// seed.
+func (s *Sim) Telemetry() *telemetry.Registry { return s.c.Telemetry }
 
 // Peer returns the identity of node i.
 func (s *Sim) Peer(i int) Peer { return s.c.Nodes[i].Ref() }
